@@ -1,0 +1,248 @@
+package habf
+
+import (
+	"fmt"
+
+	"repro/internal/bloom"
+	"repro/internal/learned"
+	"repro/internal/phbf"
+	"repro/internal/wbf"
+	"repro/internal/xorfilter"
+)
+
+// BloomStrategy selects how a standard Bloom filter derives its k bit
+// positions; see Fig. 14 of the paper.
+type BloomStrategy int
+
+const (
+	// BloomCorpus uses k distinct functions from the Table II corpus
+	// (the paper's plain "BF").
+	BloomCorpus BloomStrategy = iota
+	// BloomSeeded64 re-seeds one City-style 64-bit hash k times
+	// (the paper's "BF(City64)").
+	BloomSeeded64
+	// BloomSplit128 double-hashes the two lanes of a 128-bit hash
+	// (the paper's "BF(XXH128)").
+	BloomSplit128
+)
+
+// Bloom is the standard Bloom filter baseline.
+type Bloom struct{ inner *bloom.Filter }
+
+var _ Filter = (*Bloom)(nil)
+
+// NewBloom builds a Bloom filter over keys at the given bits-per-key with
+// the FPR-optimal hash count k = ln2·b.
+func NewBloom(keys [][]byte, bitsPerKey float64, strategy BloomStrategy) (*Bloom, error) {
+	var s bloom.Strategy
+	switch strategy {
+	case BloomCorpus:
+		s = bloom.StrategyCorpus
+	case BloomSeeded64:
+		s = bloom.StrategySeeded64
+	case BloomSplit128:
+		s = bloom.StrategySplit128
+	default:
+		return nil, fmt.Errorf("habf: unknown bloom strategy %d", strategy)
+	}
+	inner, err := bloom.NewWithKeys(keys, bitsPerKey, s)
+	if err != nil {
+		return nil, fmt.Errorf("habf: %w", err)
+	}
+	return &Bloom{inner: inner}, nil
+}
+
+// Contains reports possible membership.
+func (f *Bloom) Contains(key []byte) bool { return f.inner.Contains(key) }
+
+// Name returns the strategy's paper name.
+func (f *Bloom) Name() string { return f.inner.Name() }
+
+// SizeBits returns the bit-array footprint.
+func (f *Bloom) SizeBits() uint64 { return f.inner.SizeBits() }
+
+// Xor is the Xor filter baseline (Graf & Lemire 2020).
+type Xor struct{ inner *xorfilter.Filter }
+
+var _ Filter = (*Xor)(nil)
+
+// NewXor builds a Xor filter over keys whose fingerprint width is derived
+// from the bits-per-key budget (⌊b/(1.23+32/n)⌋, §V-A). Keys must be
+// unique.
+func NewXor(keys [][]byte, bitsPerKey float64) (*Xor, error) {
+	inner, err := xorfilter.NewWithBudget(keys, bitsPerKey)
+	if err != nil {
+		return nil, fmt.Errorf("habf: %w", err)
+	}
+	return &Xor{inner: inner}, nil
+}
+
+// Contains reports possible membership.
+func (f *Xor) Contains(key []byte) bool { return f.inner.Contains(key) }
+
+// Name returns "Xor".
+func (f *Xor) Name() string { return f.inner.Name() }
+
+// SizeBits returns the fingerprint-table footprint.
+func (f *Xor) SizeBits() uint64 { return f.inner.SizeBits() }
+
+// WBF is the Weighted Bloom filter baseline (Bruck et al. 2006).
+type WBF struct{ inner *wbf.Filter }
+
+var _ Filter = (*WBF)(nil)
+
+// NewWBF builds a WBF over positives, allocating per-key hash counts from
+// the negative keys' costs; the costliest negatives' hash counts are
+// cached for query time.
+func NewWBF(positives [][]byte, negatives []WeightedKey, totalBits uint64) (*WBF, error) {
+	conv := make([]wbf.WeightedKey, len(negatives))
+	for i, n := range negatives {
+		conv[i] = wbf.WeightedKey{Key: n.Key, Cost: n.Cost}
+	}
+	inner, err := wbf.New(positives, conv, wbf.Config{TotalBits: totalBits})
+	if err != nil {
+		return nil, fmt.Errorf("habf: %w", err)
+	}
+	return &WBF{inner: inner}, nil
+}
+
+// Contains reports possible membership.
+func (f *WBF) Contains(key []byte) bool { return f.inner.Contains(key) }
+
+// Name returns "WBF".
+func (f *WBF) Name() string { return f.inner.Name() }
+
+// SizeBits returns the bit-array footprint (cost cache excluded, as in
+// the paper's space accounting).
+func (f *WBF) SizeBits() uint64 { return f.inner.SizeBits() }
+
+// Learned wraps the three learning-based baselines behind Filter.
+type Learned struct {
+	inner interface {
+		Contains([]byte) bool
+		Name() string
+		SizeBits() uint64
+	}
+}
+
+var _ Filter = (*Learned)(nil)
+
+// NewLBF trains and assembles Kraska et al.'s Learned Bloom filter within
+// totalBits (classifier parameters + backup filter).
+func NewLBF(positives, negatives [][]byte, totalBits uint64) (*Learned, error) {
+	inner, err := learned.NewLBF(positives, negatives, totalBits, learned.TrainConfig{})
+	if err != nil {
+		return nil, fmt.Errorf("habf: %w", err)
+	}
+	return &Learned{inner: inner}, nil
+}
+
+// NewLBFGRU builds an LBF whose classifier is the paper's actual model: a
+// 16-dimensional character-level GRU with a 32-dimensional embedding
+// layer, trained from scratch with BPTT. Roughly an order of magnitude
+// slower to train and score than NewLBF's hashed-trigram model — which is
+// the paper's point about learned filters — so the experiment harness
+// defaults to the cheap model and this constructor exists for fidelity.
+func NewLBFGRU(positives, negatives [][]byte, totalBits uint64) (*Learned, error) {
+	inner, err := learned.NewLBFWithGRU(positives, negatives, totalBits)
+	if err != nil {
+		return nil, fmt.Errorf("habf: %w", err)
+	}
+	return &Learned{inner: inner}, nil
+}
+
+// NewSLBF trains and assembles Mitzenmacher's Sandwiched LBF.
+func NewSLBF(positives, negatives [][]byte, totalBits uint64) (*Learned, error) {
+	inner, err := learned.NewSLBF(positives, negatives, totalBits, learned.TrainConfig{})
+	if err != nil {
+		return nil, fmt.Errorf("habf: %w", err)
+	}
+	return &Learned{inner: inner}, nil
+}
+
+// NewAdaBF trains and assembles Dai & Shrivastava's Adaptive LBF.
+func NewAdaBF(positives, negatives [][]byte, totalBits uint64) (*Learned, error) {
+	inner, err := learned.NewAdaBF(positives, negatives, totalBits, learned.TrainConfig{})
+	if err != nil {
+		return nil, fmt.Errorf("habf: %w", err)
+	}
+	return &Learned{inner: inner}, nil
+}
+
+// Contains reports possible membership.
+func (f *Learned) Contains(key []byte) bool { return f.inner.Contains(key) }
+
+// Name returns "LBF", "SLBF" or "Ada-BF".
+func (f *Learned) Name() string { return f.inner.Name() }
+
+// SizeBits returns model plus filter footprint.
+func (f *Learned) SizeBits() uint64 { return f.inner.SizeBits() }
+
+// PHBF is the partitioned-hashing Bloom filter of Hao et al. (SIGMETRICS
+// 2007) — per-group hash customization, the closest prior work to HABF
+// (§II of the paper).
+type PHBF struct{ inner *phbf.Filter }
+
+var _ Filter = (*PHBF)(nil)
+
+// NewPHBF builds a partitioned-hashing Bloom filter over keys within
+// totalBits, greedily choosing one hash seed per key group to minimize
+// set bits.
+func NewPHBF(keys [][]byte, totalBits uint64) (*PHBF, error) {
+	inner, err := phbf.New(keys, phbf.Config{TotalBits: totalBits})
+	if err != nil {
+		return nil, fmt.Errorf("habf: %w", err)
+	}
+	return &PHBF{inner: inner}, nil
+}
+
+// Contains reports possible membership.
+func (f *PHBF) Contains(key []byte) bool { return f.inner.Contains(key) }
+
+// Name returns "PHBF".
+func (f *PHBF) Name() string { return f.inner.Name() }
+
+// SizeBits returns bit array plus per-group seed metadata.
+func (f *PHBF) SizeBits() uint64 { return f.inner.SizeBits() }
+
+// IncrementalMode selects the adaptation strategy of NewIncrementalLBF.
+type IncrementalMode = learned.IncrementalMode
+
+// Re-exported incremental modes (Bhattacharya et al., §II of the paper).
+const (
+	// ClassifierAdaptive (CA-LBF) periodically retrains the classifier.
+	ClassifierAdaptive = learned.ClassifierAdaptive
+	// IndexAdaptive (IA-LBF) grows the backup filter instead.
+	IndexAdaptive = learned.IndexAdaptive
+)
+
+// IncrementalLBF is a learned filter that accepts inserts after
+// construction while preserving zero false negatives.
+type IncrementalLBF struct{ inner *learned.IncrementalLBF }
+
+var _ Filter = (*IncrementalLBF)(nil)
+
+// NewIncrementalLBF trains an initial model over the labelled sets and
+// returns a filter that supports Insert. backupBits budgets the backup
+// filter; IA-LBF grows it as needed.
+func NewIncrementalLBF(mode IncrementalMode, positives, negatives [][]byte, backupBits uint64) (*IncrementalLBF, error) {
+	inner, err := learned.NewIncremental(mode, positives, negatives, learned.IncrementalConfig{
+		BackupBits: backupBits,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("habf: %w", err)
+	}
+	return &IncrementalLBF{inner: inner}, nil
+}
+
+// Insert adds a key to the member set; it is queryable immediately.
+func (f *IncrementalLBF) Insert(key []byte) { f.inner.Insert(key) }
+
+// Contains reports possible membership.
+func (f *IncrementalLBF) Contains(key []byte) bool { return f.inner.Contains(key) }
+
+// Name returns "CA-LBF" or "IA-LBF".
+func (f *IncrementalLBF) Name() string { return f.inner.Name() }
+
+// SizeBits returns the current model plus backup footprint.
+func (f *IncrementalLBF) SizeBits() uint64 { return f.inner.SizeBits() }

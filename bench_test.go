@@ -1,0 +1,261 @@
+// Benchmarks regenerating every figure of the paper's evaluation (§V).
+// Each BenchmarkFigNN target runs the corresponding experiment end to end
+// at bench scale; run the cmd/habfbench binary for full-scale tables.
+//
+//	go test -bench=Fig -benchmem
+package habf_test
+
+import (
+	"io"
+	"strconv"
+	"testing"
+
+	habf "repro"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+// benchCfg keeps figure benchmarks in the hundreds-of-milliseconds range.
+var benchCfg = experiments.Config{Scale: 0.1, Seed: 1}
+
+func runFig(b *testing.B, id string) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run(id, benchCfg, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig08TheoreticBound(b *testing.B) { runFig(b, "fig08") }
+func BenchmarkFig09Parameters(b *testing.B)     { runFig(b, "fig09") }
+func BenchmarkFig10UniformFPR(b *testing.B)     { runFig(b, "fig10") }
+func BenchmarkFig11SkewedFPR(b *testing.B)      { runFig(b, "fig11") }
+func BenchmarkFig12ConstructionAndQuery(b *testing.B) {
+	runFig(b, "fig12")
+}
+func BenchmarkFig13Skewness(b *testing.B)  { runFig(b, "fig13") }
+func BenchmarkFig14HashImpls(b *testing.B) { runFig(b, "fig14") }
+func BenchmarkFig15Memory(b *testing.B)    { runFig(b, "fig15") }
+func BenchmarkAblations(b *testing.B)      { runFig(b, "abl") }
+func BenchmarkRelatedWork(b *testing.B)    { runFig(b, "rel") }
+func BenchmarkLSMScenario(b *testing.B)    { runFig(b, "lsm") }
+func BenchmarkIncremental(b *testing.B)    { runFig(b, "incr") }
+
+// --- Micro-benchmarks: per-operation costs underlying Fig. 12 ---
+
+type fixtures struct {
+	pos   [][]byte
+	neg   [][]byte
+	wneg  []habf.WeightedKey
+	costs []float64
+}
+
+func loadFixtures(n int) fixtures {
+	p := dataset.Shalla(n, n, 1)
+	costs := dataset.ZipfCosts(n, 1.0, 1)
+	fx := fixtures{pos: p.Positives, neg: p.Negatives, costs: costs}
+	fx.wneg = make([]habf.WeightedKey, n)
+	for i := range fx.wneg {
+		fx.wneg[i] = habf.WeightedKey{Key: p.Negatives[i], Cost: costs[i]}
+	}
+	return fx
+}
+
+func benchBuild(b *testing.B, build func(fx fixtures) (metrics.Filter, error)) {
+	fx := loadFixtures(20000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := build(fx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = f
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/20000, "ns/key")
+}
+
+func BenchmarkConstructHABF(b *testing.B) {
+	benchBuild(b, func(fx fixtures) (metrics.Filter, error) {
+		return habf.New(fx.pos, fx.wneg, uint64(10*len(fx.pos)))
+	})
+}
+
+func BenchmarkConstructFastHABF(b *testing.B) {
+	benchBuild(b, func(fx fixtures) (metrics.Filter, error) {
+		return habf.NewFast(fx.pos, fx.wneg, uint64(10*len(fx.pos)))
+	})
+}
+
+func BenchmarkConstructBF(b *testing.B) {
+	benchBuild(b, func(fx fixtures) (metrics.Filter, error) {
+		return habf.NewBloom(fx.pos, 10, habf.BloomCorpus)
+	})
+}
+
+func BenchmarkConstructXor(b *testing.B) {
+	benchBuild(b, func(fx fixtures) (metrics.Filter, error) {
+		return habf.NewXor(fx.pos, 10)
+	})
+}
+
+func BenchmarkConstructWBF(b *testing.B) {
+	benchBuild(b, func(fx fixtures) (metrics.Filter, error) {
+		return habf.NewWBF(fx.pos, fx.wneg, uint64(10*len(fx.pos)))
+	})
+}
+
+func BenchmarkConstructLBF(b *testing.B) {
+	benchBuild(b, func(fx fixtures) (metrics.Filter, error) {
+		return habf.NewLBF(fx.pos, fx.neg, uint64(10*len(fx.pos)))
+	})
+}
+
+func BenchmarkConstructPHBF(b *testing.B) {
+	benchBuild(b, func(fx fixtures) (metrics.Filter, error) {
+		return habf.NewPHBF(fx.pos, uint64(10*len(fx.pos)))
+	})
+}
+
+func BenchmarkConstructSLBF(b *testing.B) {
+	benchBuild(b, func(fx fixtures) (metrics.Filter, error) {
+		return habf.NewSLBF(fx.pos, fx.neg, uint64(10*len(fx.pos)))
+	})
+}
+
+func BenchmarkConstructAdaBF(b *testing.B) {
+	benchBuild(b, func(fx fixtures) (metrics.Filter, error) {
+		return habf.NewAdaBF(fx.pos, fx.neg, uint64(10*len(fx.pos)))
+	})
+}
+
+func benchQuery(b *testing.B, f metrics.Filter, probes [][]byte) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var hits int
+	for i := 0; i < b.N; i++ {
+		if f.Contains(probes[i%len(probes)]) {
+			hits++
+		}
+	}
+	_ = hits
+}
+
+func BenchmarkQueryHABF(b *testing.B) {
+	fx := loadFixtures(20000)
+	f, err := habf.New(fx.pos, fx.wneg, uint64(10*len(fx.pos)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("negative", func(b *testing.B) { benchQuery(b, f, fx.neg) })
+	b.Run("positive", func(b *testing.B) { benchQuery(b, f, fx.pos) })
+}
+
+func BenchmarkQueryFastHABF(b *testing.B) {
+	fx := loadFixtures(20000)
+	f, err := habf.NewFast(fx.pos, fx.wneg, uint64(10*len(fx.pos)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("negative", func(b *testing.B) { benchQuery(b, f, fx.neg) })
+	b.Run("positive", func(b *testing.B) { benchQuery(b, f, fx.pos) })
+}
+
+func BenchmarkQueryBF(b *testing.B) {
+	fx := loadFixtures(20000)
+	f, err := habf.NewBloom(fx.pos, 10, habf.BloomCorpus)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("negative", func(b *testing.B) { benchQuery(b, f, fx.neg) })
+	b.Run("positive", func(b *testing.B) { benchQuery(b, f, fx.pos) })
+}
+
+func BenchmarkQueryXor(b *testing.B) {
+	fx := loadFixtures(20000)
+	f, err := habf.NewXor(fx.pos, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("negative", func(b *testing.B) { benchQuery(b, f, fx.neg) })
+	b.Run("positive", func(b *testing.B) { benchQuery(b, f, fx.pos) })
+}
+
+func BenchmarkQueryLBF(b *testing.B) {
+	fx := loadFixtures(20000)
+	f, err := habf.NewLBF(fx.pos, fx.neg, uint64(12*len(fx.pos)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("negative", func(b *testing.B) { benchQuery(b, f, fx.neg) })
+	b.Run("positive", func(b *testing.B) { benchQuery(b, f, fx.pos) })
+}
+
+func BenchmarkQueryWBF(b *testing.B) {
+	fx := loadFixtures(20000)
+	f, err := habf.NewWBF(fx.pos, fx.wneg, uint64(10*len(fx.pos)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("negative", func(b *testing.B) { benchQuery(b, f, fx.neg) })
+	b.Run("positive", func(b *testing.B) { benchQuery(b, f, fx.pos) })
+}
+
+func BenchmarkQueryPHBF(b *testing.B) {
+	fx := loadFixtures(20000)
+	f, err := habf.NewPHBF(fx.pos, uint64(10*len(fx.pos)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("negative", func(b *testing.B) { benchQuery(b, f, fx.neg) })
+	b.Run("positive", func(b *testing.B) { benchQuery(b, f, fx.pos) })
+}
+
+// BenchmarkSerializeHABF measures MarshalBinary/UnmarshalHABF roundtrips.
+func BenchmarkSerializeHABF(b *testing.B) {
+	fx := loadFixtures(20000)
+	f, err := habf.New(fx.pos, fx.wneg, uint64(10*len(fx.pos)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("marshal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := f.MarshalBinary(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	data, _ := f.MarshalBinary()
+	b.Run("unmarshal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := habf.UnmarshalHABF(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkWeightedFPRScan measures the measurement itself (used inside
+// every accuracy experiment).
+func BenchmarkWeightedFPRScan(b *testing.B) {
+	fx := loadFixtures(20000)
+	f, err := habf.New(fx.pos, fx.wneg, uint64(10*len(fx.pos)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := habf.WeightedFPR(f, fx.neg, fx.costs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// sink prevents dead-code elimination across benchmarks.
+var sink = strconv.Itoa(0)

@@ -1,0 +1,58 @@
+// Command habfbench regenerates the paper's evaluation figures (§V,
+// Figs. 8–15) plus the ablation study as text tables.
+//
+// Usage:
+//
+//	habfbench -list
+//	habfbench -fig fig10 [-scale 1.0] [-seed 1]
+//	habfbench -all [-scale 0.25]
+//
+// Scale 1.0 runs 40 k Shalla keys and 100 k YCSB keys per side with the
+// paper's bits-per-key grid; larger scales approach the published sizes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "", "experiment id to run (see -list)")
+		all   = flag.Bool("all", false, "run every experiment")
+		list  = flag.Bool("list", false, "list experiment ids")
+		scale = flag.Float64("scale", 1.0, "dataset scale multiplier")
+		seed  = flag.Int64("seed", 1, "workload and construction seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, id := range experiments.All() {
+			fmt.Println(id)
+		}
+	case *all:
+		cfg := experiments.Config{Scale: *scale, Seed: *seed}
+		for _, id := range experiments.All() {
+			start := time.Now()
+			if err := experiments.Run(id, cfg, os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "habfbench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("-- %s done in %v --\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	case *fig != "":
+		cfg := experiments.Config{Scale: *scale, Seed: *seed}
+		if err := experiments.Run(*fig, cfg, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "habfbench:", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,88 @@
+// Command habfdemo builds an HABF over key files and answers membership
+// queries from stdin, one key per line — a quick way to poke at the filter
+// interactively or from shell pipelines.
+//
+// Usage:
+//
+//	habfgen -dataset shalla -n 50000 -skew 1.0 -out /tmp/d
+//	habfdemo -pos /tmp/d/shalla.positive -neg /tmp/d/shalla.negative \
+//	         -costs /tmp/d/shalla.costs -bits-per-key 12 < queries.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	habf "repro"
+	"repro/internal/dataset"
+)
+
+func main() {
+	var (
+		posPath = flag.String("pos", "", "file of positive keys, one per line")
+		negPath = flag.String("neg", "", "file of negative keys (optional)")
+		cstPath = flag.String("costs", "", "file of per-negative costs (optional)")
+		bpk     = flag.Float64("bits-per-key", 12, "total space budget per positive key")
+		fast    = flag.Bool("fast", false, "build f-HABF instead of HABF")
+	)
+	flag.Parse()
+	if *posPath == "" {
+		fmt.Fprintln(os.Stderr, "habfdemo: -pos is required")
+		os.Exit(2)
+	}
+
+	pos, err := dataset.LoadKeys(*posPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "habfdemo:", err)
+		os.Exit(1)
+	}
+	var negatives []habf.WeightedKey
+	if *negPath != "" {
+		negKeys, err := dataset.LoadKeys(*negPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "habfdemo:", err)
+			os.Exit(1)
+		}
+		costs := make([]float64, len(negKeys))
+		for i := range costs {
+			costs[i] = 1
+		}
+		if *cstPath != "" {
+			if costs, err = dataset.LoadCosts(*cstPath); err != nil || len(costs) != len(negKeys) {
+				fmt.Fprintln(os.Stderr, "habfdemo: bad costs file")
+				os.Exit(1)
+			}
+		}
+		negatives = make([]habf.WeightedKey, len(negKeys))
+		for i := range negKeys {
+			negatives[i] = habf.WeightedKey{Key: negKeys[i], Cost: costs[i]}
+		}
+	}
+
+	build := habf.New
+	if *fast {
+		build = habf.NewFast
+	}
+	f, err := build(pos, negatives, uint64(*bpk*float64(len(pos))))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "habfdemo:", err)
+		os.Exit(1)
+	}
+	st := f.Stats()
+	fmt.Fprintf(os.Stderr,
+		"built %s: %d positives, %d known negatives, %d bits; collisions %d optimized %d (FPR %.4f%% -> %.4f%%)\n",
+		f.Name(), len(pos), len(negatives), f.SizeBits(),
+		st.CollisionKeys, st.Optimized, st.FPRBefore*100, st.FPRAfter*100)
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	for sc.Scan() {
+		if f.Contains(sc.Bytes()) {
+			fmt.Printf("maybe\t%s\n", sc.Text())
+		} else {
+			fmt.Printf("no\t%s\n", sc.Text())
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Command habfeval compares every filter in the module on a user-supplied
+// workload (the files written by habfgen, or any files in the same
+// format), reporting weighted FPR, FNR, build time and size — the quick
+// way to evaluate HABF on your own keys.
+//
+// Usage:
+//
+//	habfgen -dataset shalla -n 50000 -skew 1.0 -out /tmp/d
+//	habfeval -pos /tmp/d/shalla.positive -neg /tmp/d/shalla.negative \
+//	         -costs /tmp/d/shalla.costs -bits-per-key 12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	habf "repro"
+	"repro/internal/dataset"
+)
+
+func main() {
+	var (
+		posPath = flag.String("pos", "", "file of positive keys (required)")
+		negPath = flag.String("neg", "", "file of negative keys (required)")
+		cstPath = flag.String("costs", "", "file of per-negative costs (optional; default uniform)")
+		bpk     = flag.Float64("bits-per-key", 12, "space budget per positive key")
+		only    = flag.String("only", "", "run a single filter by name (e.g. HABF)")
+	)
+	flag.Parse()
+	if *posPath == "" || *negPath == "" {
+		fmt.Fprintln(os.Stderr, "habfeval: -pos and -neg are required")
+		os.Exit(2)
+	}
+
+	pos, err := dataset.LoadKeys(*posPath)
+	fatal(err)
+	negKeys, err := dataset.LoadKeys(*negPath)
+	fatal(err)
+	costs := make([]float64, len(negKeys))
+	for i := range costs {
+		costs[i] = 1
+	}
+	if *cstPath != "" {
+		costs, err = dataset.LoadCosts(*cstPath)
+		fatal(err)
+		if len(costs) != len(negKeys) {
+			fatal(fmt.Errorf("habfeval: %d costs for %d negative keys", len(costs), len(negKeys)))
+		}
+	}
+	neg := make([]habf.WeightedKey, len(negKeys))
+	for i := range negKeys {
+		neg[i] = habf.WeightedKey{Key: negKeys[i], Cost: costs[i]}
+	}
+	budget := uint64(*bpk * float64(len(pos)))
+
+	type build struct {
+		name string
+		fn   func() (habf.Filter, error)
+	}
+	builds := []build{
+		{"BF", func() (habf.Filter, error) { return habf.NewBloom(pos, *bpk, habf.BloomCorpus) }},
+		{"BF(XXH128)", func() (habf.Filter, error) { return habf.NewBloom(pos, *bpk, habf.BloomSplit128) }},
+		{"Xor", func() (habf.Filter, error) { return habf.NewXor(pos, *bpk) }},
+		{"PHBF", func() (habf.Filter, error) { return habf.NewPHBF(pos, budget) }},
+		{"WBF", func() (habf.Filter, error) { return habf.NewWBF(pos, neg, budget) }},
+		{"LBF", func() (habf.Filter, error) { return habf.NewLBF(pos, negKeys, budget) }},
+		{"SLBF", func() (habf.Filter, error) { return habf.NewSLBF(pos, negKeys, budget) }},
+		{"Ada-BF", func() (habf.Filter, error) { return habf.NewAdaBF(pos, negKeys, budget) }},
+		{"f-HABF", func() (habf.Filter, error) { return habf.NewFast(pos, neg, budget) }},
+		{"HABF", func() (habf.Filter, error) { return habf.New(pos, neg, budget) }},
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "filter\tbuild\tsize(KB)\tweighted FPR\tFNR")
+	for _, b := range builds {
+		if *only != "" && b.name != *only {
+			continue
+		}
+		start := time.Now()
+		f, err := b.fn()
+		if err != nil {
+			fmt.Fprintf(tw, "%s\terror: %v\t\t\t\n", b.name, err)
+			continue
+		}
+		elapsed := time.Since(start)
+		w, err := habf.WeightedFPR(f, negKeys, costs)
+		if err != nil {
+			fatal(err)
+		}
+		fnr, err := habf.FNR(f, pos)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(tw, "%s\t%v\t%.1f\t%.3e\t%g\n",
+			b.name, elapsed.Round(time.Millisecond), float64(f.SizeBits())/8/1024, w, fnr)
+	}
+	tw.Flush()
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "habfeval:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,79 @@
+// Blacklist: the intrusion-detection scenario from the paper's
+// introduction. A URL blacklist is held as a filter in front of a slow
+// reputation database; benign URLs that are misidentified trigger costly
+// lookups, and lookup traffic is heavily skewed toward popular URLs.
+//
+// The example compares the standard Bloom filter, the Xor filter and both
+// HABF variants at the same space budget, reporting the weighted false-
+// positive rate (= wasted lookup cost fraction) of each.
+//
+//	go run ./examples/blacklist
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	habf "repro"
+	"repro/internal/dataset"
+)
+
+func main() {
+	const n = 30000
+	data := dataset.Shalla(n, n, 42)       // n blacklisted + n benign URLs
+	costs := dataset.ZipfCosts(n, 1.2, 42) // lookup traffic per benign URL
+
+	negatives := make([]habf.WeightedKey, n)
+	for i := range negatives {
+		negatives[i] = habf.WeightedKey{Key: data.Negatives[i], Cost: costs[i]}
+	}
+
+	const bitsPerKey = 10.0
+	budget := uint64(bitsPerKey * n)
+
+	build := []struct {
+		name string
+		fn   func() (habf.Filter, error)
+	}{
+		{"BF", func() (habf.Filter, error) { return habf.NewBloom(data.Positives, bitsPerKey, habf.BloomCorpus) }},
+		{"Xor", func() (habf.Filter, error) { return habf.NewXor(data.Positives, bitsPerKey) }},
+		{"WBF", func() (habf.Filter, error) { return habf.NewWBF(data.Positives, negatives, budget) }},
+		{"f-HABF", func() (habf.Filter, error) { return habf.NewFast(data.Positives, negatives, budget) }},
+		{"HABF", func() (habf.Filter, error) { return habf.New(data.Positives, negatives, budget) }},
+	}
+
+	fmt.Printf("blacklist: %d URLs, %d known benign probes, %.0f bits/key, traffic skew 1.2\n\n",
+		n, n, bitsPerKey)
+	fmt.Printf("%-8s %14s %16s %14s\n", "filter", "build time", "weighted FPR", "vs BF")
+
+	var bfFPR float64
+	for _, b := range build {
+		start := time.Now()
+		f, err := b.fn()
+		if err != nil {
+			log.Fatalf("%s: %v", b.name, err)
+		}
+		elapsed := time.Since(start)
+
+		// Safety: a blacklist must never miss a listed URL.
+		if fnr, _ := habf.FNR(f, data.Positives); fnr != 0 {
+			log.Fatalf("%s produced false negatives", b.name)
+		}
+		w, err := habf.WeightedFPR(f, data.Negatives, costs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if b.name == "BF" {
+			bfFPR = w
+		}
+		improvement := "-"
+		if bfFPR > 0 && w > 0 {
+			improvement = fmt.Sprintf("%.1fx lower", bfFPR/w)
+		}
+		fmt.Printf("%-8s %14v %15.5f%% %14s\n", b.name, elapsed.Round(time.Millisecond), w*100, improvement)
+	}
+
+	fmt.Println("\nHABF routes the costly (popular) benign URLs away from collisions,")
+	fmt.Println("so the wasted-lookup cost drops far more than the plain FPR does.")
+}

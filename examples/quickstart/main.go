@@ -1,0 +1,53 @@
+// Quickstart: build a Hash Adaptive Bloom Filter over a small member set,
+// tell it which non-members are expensive to misidentify, and query it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	habf "repro"
+)
+
+func main() {
+	// The member set S: keys the filter must always accept.
+	members := [][]byte{
+		[]byte("user:alice"),
+		[]byte("user:bob"),
+		[]byte("user:carol"),
+		[]byte("user:dave"),
+	}
+
+	// Known negative keys O with misidentification costs Θ(e): perhaps
+	// these hammer the backend when they slip through.
+	negatives := []habf.WeightedKey{
+		{Key: []byte("user:mallory"), Cost: 100},
+		{Key: []byte("user:trudy"), Cost: 50},
+		{Key: []byte("user:eve"), Cost: 10},
+		{Key: []byte("user:oscar"), Cost: 1},
+	}
+
+	// 4096 bits total for Bloom array + HashExpressor.
+	f, err := habf.New(members, negatives, 4096, habf.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	st := f.Stats()
+	fmt.Printf("built %s: %d bits, k=%d\n", f.Name(), f.SizeBits(), f.K())
+	fmt.Printf("construction: %d collision keys found, %d optimized, %d positive keys re-hashed\n",
+		st.CollisionKeys, st.Optimized, st.AdjustedPositives)
+
+	fmt.Println("\nmembership answers:")
+	for _, key := range members {
+		fmt.Printf("  %-14s -> %v (member: always true)\n", key, f.Contains(key))
+	}
+	for _, n := range negatives {
+		fmt.Printf("  %-14s -> %v (known negative, cost %g)\n", n.Key, f.Contains(n.Key), n.Cost)
+	}
+
+	// Unknown keys still get the standard Bloom guarantee.
+	fmt.Printf("\nunknown key    -> %v\n", f.Contains([]byte("user:unknown")))
+}

@@ -1,0 +1,204 @@
+// Package habf is a from-scratch Go implementation of the Hash Adaptive
+// Bloom Filter (Xie et al., "Hash Adaptive Bloom Filter", ICDE 2021) and
+// of every baseline its evaluation compares against.
+//
+// # The problem
+//
+// A standard Bloom filter treats all keys identically: k fixed hash
+// functions, shared by every key. When the application knows (some of)
+// the negative keys it will be queried with — blacklist probes, repeated
+// failed lookups in an LSM-tree, cached miss traffic — and when
+// misidentifying different negatives costs differently, that knowledge is
+// wasted. HABF exploits it: each positive key can be assigned its own
+// hash-function subset φ(e) drawn from a global family H, chosen at
+// construction time so that costly negative keys stop colliding. The
+// customized selections live in a compact probabilistic table (the
+// HashExpressor), and a two-round query protocol preserves the Bloom
+// filter's one-sided error: no false negatives, ever.
+//
+// # Quick start
+//
+//	positives := [][]byte{[]byte("alice"), []byte("bob")}
+//	negatives := []habf.WeightedKey{{Key: []byte("mallory"), Cost: 10}}
+//	f, err := habf.New(positives, negatives, 1024) // 1024-bit budget
+//	if err != nil { ... }
+//	f.Contains([]byte("alice"))   // true, always
+//	f.Contains([]byte("mallory")) // false with high probability
+//
+// Use NewFast for the f-HABF variant (double hashing, ~7× faster
+// construction, slightly higher FPR), and the NewBloom/NewXor/NewWBF/
+// NewLBF/NewSLBF/NewAdaBF constructors for the paper's baselines. All
+// filters implement the Filter interface, so the measurement helpers
+// (WeightedFPR, FPR, FNR) apply uniformly.
+package habf
+
+import (
+	"fmt"
+
+	ihabf "repro/internal/habf"
+	"repro/internal/metrics"
+)
+
+// Filter is the common query-side interface of every filter in this
+// module. Implementations are immutable after construction and safe for
+// concurrent readers.
+type Filter interface {
+	// Contains reports whether key may be a member of the positive set.
+	// False positives are possible; false negatives are not.
+	Contains(key []byte) bool
+	// Name identifies the filter variant ("HABF", "BF", "Xor", ...).
+	Name() string
+	// SizeBits is the memory footprint of the query-time structure.
+	SizeBits() uint64
+}
+
+// WeightedKey is a known negative key with its misidentification cost
+// Θ(e). Uniform costs (all 1) reduce the weighted false-positive rate to
+// the ordinary one.
+type WeightedKey struct {
+	Key  []byte
+	Cost float64
+}
+
+// Stats reports what the TPJO construction algorithm did; see the fields
+// of the internal type for details.
+type Stats = ihabf.Stats
+
+// Option customizes HABF construction beyond the paper's defaults
+// (k = 3, 4-bit HashExpressor cells, Δ = 0.25 space split).
+type Option func(*ihabf.Params)
+
+// WithK sets the per-key hash-function count (2..usable family size).
+func WithK(k int) Option { return func(p *ihabf.Params) { p.K = k } }
+
+// WithCellBits sets the HashExpressor cell size in bits (3..6). Cell size
+// α exposes 2^(α-1)-1 hash functions of the global family.
+func WithCellBits(bits uint) Option { return func(p *ihabf.Params) { p.CellBits = bits } }
+
+// WithSpaceRatio sets Δ = Δ1/Δ2, the HashExpressor:Bloom budget split.
+func WithSpaceRatio(r float64) Option { return func(p *ihabf.Params) { p.SpaceRatio = r } }
+
+// WithSeed makes all construction-time randomness reproducible.
+func WithSeed(seed int64) Option { return func(p *ihabf.Params) { p.Seed = seed } }
+
+// WithoutGamma disables the Γ conflict-detection index (ablation; f-HABF
+// implies this).
+func WithoutGamma() Option { return func(p *ihabf.Params) { p.DisableGamma = true } }
+
+// WithoutOverlapRanking disables the maximize-cell-overlap tie-break
+// among insertable adjustments (ablation).
+func WithoutOverlapRanking() Option {
+	return func(p *ihabf.Params) { p.DisableOverlapRanking = true }
+}
+
+// WithoutCostOrdering processes collision keys FIFO instead of
+// highest-cost-first (ablation).
+func WithoutCostOrdering() Option {
+	return func(p *ihabf.Params) { p.DisableCostOrdering = true }
+}
+
+// HABF is the constructed Hash Adaptive Bloom Filter.
+type HABF struct {
+	inner *ihabf.Filter
+}
+
+var _ Filter = (*HABF)(nil)
+
+func convertNegatives(negatives []WeightedKey) []ihabf.WeightedKey {
+	out := make([]ihabf.WeightedKey, len(negatives))
+	for i, n := range negatives {
+		out[i] = ihabf.WeightedKey{Key: n.Key, Cost: n.Cost}
+	}
+	return out
+}
+
+// New builds an HABF over positives within totalBits of memory, using the
+// negative keys and their costs to customize hash selections (TPJO).
+func New(positives [][]byte, negatives []WeightedKey, totalBits uint64, opts ...Option) (*HABF, error) {
+	p := ihabf.Params{TotalBits: totalBits}
+	for _, o := range opts {
+		o(&p)
+	}
+	inner, err := ihabf.New(positives, convertNegatives(negatives), p)
+	if err != nil {
+		return nil, fmt.Errorf("habf: %w", err)
+	}
+	return &HABF{inner: inner}, nil
+}
+
+// NewFast builds an f-HABF: double hashing replaces the 22-function
+// corpus and conflict detection is disabled, trading a little accuracy
+// for construction speed near a plain Bloom filter's.
+func NewFast(positives [][]byte, negatives []WeightedKey, totalBits uint64, opts ...Option) (*HABF, error) {
+	p := ihabf.Params{TotalBits: totalBits, Fast: true}
+	for _, o := range opts {
+		o(&p)
+	}
+	p.Fast = true
+	inner, err := ihabf.New(positives, convertNegatives(negatives), p)
+	if err != nil {
+		return nil, fmt.Errorf("habf: %w", err)
+	}
+	return &HABF{inner: inner}, nil
+}
+
+// Contains reports whether key may be a member (two-round query, zero
+// false negatives).
+func (f *HABF) Contains(key []byte) bool { return f.inner.Contains(key) }
+
+// Name returns "HABF" or "f-HABF".
+func (f *HABF) Name() string { return f.inner.Name() }
+
+// SizeBits returns the query-time footprint: Bloom bits + HashExpressor.
+func (f *HABF) SizeBits() uint64 { return f.inner.SizeBits() }
+
+// Stats returns construction statistics (collision keys found, optimized,
+// FPR before/after, ...).
+func (f *HABF) Stats() Stats { return f.inner.Stats() }
+
+// Add inserts a key after construction, under the shared initial hash
+// selection — the key is queryable immediately and the zero-false-
+// negative guarantee is preserved. Optimization does not re-run, so the
+// weighted FPR degrades gradually; rebuild once AddedKeys reaches a few
+// percent of the original set. Add must not run concurrently with reads.
+func (f *HABF) Add(key []byte) { f.inner.Add(key) }
+
+// AddedKeys reports how many keys were inserted after construction.
+func (f *HABF) AddedKeys() uint64 { return f.inner.AddedKeys() }
+
+// K returns the per-key hash budget.
+func (f *HABF) K() int { return f.inner.K() }
+
+// MarshalBinary encodes the query-time state of the filter (Bloom array,
+// HashExpressor, hashing configuration) in a versioned format, so a filter
+// built once can be shipped to query nodes. Construction statistics are
+// not serialized.
+func (f *HABF) MarshalBinary() ([]byte, error) { return f.inner.MarshalBinary() }
+
+// UnmarshalHABF decodes a filter produced by (*HABF).MarshalBinary. The
+// decoded filter answers queries identically to the original; its Stats
+// are zero.
+func UnmarshalHABF(data []byte) (*HABF, error) {
+	inner, err := ihabf.UnmarshalFilter(data)
+	if err != nil {
+		return nil, fmt.Errorf("habf: %w", err)
+	}
+	return &HABF{inner: inner}, nil
+}
+
+// WeightedFPR measures Eq. 1/20 of the paper over known negatives: the
+// cost mass of false positives divided by total cost mass.
+func WeightedFPR(f Filter, negatives [][]byte, costs []float64) (float64, error) {
+	return metrics.WeightedFPR(f, negatives, costs)
+}
+
+// FPR measures the plain false-positive rate over known negatives.
+func FPR(f Filter, negatives [][]byte) (float64, error) {
+	return metrics.FPR(f, negatives)
+}
+
+// FNR measures the false-negative rate over known positives. Every filter
+// constructed by this module returns 0.
+func FNR(f Filter, positives [][]byte) (float64, error) {
+	return metrics.FNR(f, positives)
+}

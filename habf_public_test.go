@@ -1,0 +1,197 @@
+package habf_test
+
+import (
+	"fmt"
+	"testing"
+
+	habf "repro"
+	"repro/internal/dataset"
+)
+
+func workload(n int) ([][]byte, []habf.WeightedKey, [][]byte, []float64) {
+	p := dataset.Shalla(n, n, 1)
+	costs := dataset.ZipfCosts(n, 1.0, 1)
+	neg := make([]habf.WeightedKey, n)
+	for i := range neg {
+		neg[i] = habf.WeightedKey{Key: p.Negatives[i], Cost: costs[i]}
+	}
+	return p.Positives, neg, p.Negatives, costs
+}
+
+func TestPublicHABFEndToEnd(t *testing.T) {
+	pos, neg, negKeys, costs := workload(5000)
+	f, err := habf.New(pos, neg, 5000*12, habf.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fnr, _ := habf.FNR(f, pos); fnr != 0 {
+		t.Fatalf("FNR = %v, want 0", fnr)
+	}
+	w, err := habf.WeightedFPR(f, negKeys, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	if st.CollisionKeys > 0 && w > st.WeightedFPRBefore {
+		t.Errorf("weighted FPR %v did not improve on unoptimized %v", w, st.WeightedFPRBefore)
+	}
+	if f.Name() != "HABF" || f.K() != 3 {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestPublicOptions(t *testing.T) {
+	pos, neg, _, _ := workload(1000)
+	f, err := habf.New(pos, neg, 1000*16,
+		habf.WithK(4),
+		habf.WithCellBits(5),
+		habf.WithSpaceRatio(0.3),
+		habf.WithSeed(3),
+		habf.WithoutOverlapRanking(),
+		habf.WithoutCostOrdering(),
+		habf.WithoutGamma(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.K() != 4 {
+		t.Errorf("K = %d, want 4", f.K())
+	}
+	if fnr, _ := habf.FNR(f, pos); fnr != 0 {
+		t.Error("options broke zero-FNR")
+	}
+}
+
+func TestPublicFastHABF(t *testing.T) {
+	pos, neg, _, _ := workload(3000)
+	f, err := habf.NewFast(pos, neg, 3000*12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != "f-HABF" {
+		t.Errorf("Name = %q", f.Name())
+	}
+	if fnr, _ := habf.FNR(f, pos); fnr != 0 {
+		t.Error("f-HABF broke zero-FNR")
+	}
+}
+
+func TestAllBaselinesSatisfyFilter(t *testing.T) {
+	pos, neg, negKeys, costs := workload(4000)
+	budget := uint64(4000 * 12)
+
+	var filters []habf.Filter
+	h, err := habf.New(pos, neg, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filters = append(filters, h)
+
+	fh, err := habf.NewFast(pos, neg, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filters = append(filters, fh)
+
+	for _, s := range []habf.BloomStrategy{habf.BloomCorpus, habf.BloomSeeded64, habf.BloomSplit128} {
+		b, err := habf.NewBloom(pos, 12, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		filters = append(filters, b)
+	}
+
+	x, err := habf.NewXor(pos, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filters = append(filters, x)
+
+	w, err := habf.NewWBF(pos, neg, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filters = append(filters, w)
+
+	lbf, err := habf.NewLBF(pos, negKeys, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filters = append(filters, lbf)
+
+	slbf, err := habf.NewSLBF(pos, negKeys, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filters = append(filters, slbf)
+
+	ada, err := habf.NewAdaBF(pos, negKeys, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filters = append(filters, ada)
+
+	names := map[string]bool{}
+	for _, f := range filters {
+		if names[f.Name()] {
+			t.Errorf("duplicate filter name %q", f.Name())
+		}
+		names[f.Name()] = true
+		if fnr, _ := habf.FNR(f, pos); fnr != 0 {
+			t.Errorf("%s: FNR = %v, want 0 for every filter in the module", f.Name(), fnr)
+		}
+		if f.SizeBits() == 0 {
+			t.Errorf("%s: SizeBits = 0", f.Name())
+		}
+		if w, err := habf.WeightedFPR(f, negKeys, costs); err != nil || w < 0 || w > 1 {
+			t.Errorf("%s: WeightedFPR = %v, %v", f.Name(), w, err)
+		}
+	}
+}
+
+func TestPublicErrors(t *testing.T) {
+	if _, err := habf.New(nil, nil, 4096); err == nil {
+		t.Error("empty positives accepted")
+	}
+	if _, err := habf.NewBloom([][]byte{[]byte("k")}, 10, habf.BloomStrategy(9)); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if _, err := habf.NewXor(nil, 10); err == nil {
+		t.Error("empty xor keys accepted")
+	}
+	if _, err := habf.NewWBF(nil, nil, 100); err == nil {
+		t.Error("empty WBF positives accepted")
+	}
+	if _, err := habf.NewLBF([][]byte{[]byte("a")}, nil, 10); err == nil {
+		t.Error("budget below model size accepted")
+	}
+}
+
+func ExampleNew() {
+	positives := [][]byte{[]byte("alice"), []byte("bob"), []byte("carol")}
+	negatives := []habf.WeightedKey{
+		{Key: []byte("mallory"), Cost: 100}, // costly to misidentify
+		{Key: []byte("trent"), Cost: 1},
+	}
+	f, err := habf.New(positives, negatives, 4096, habf.WithSeed(1))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(f.Contains([]byte("alice")))
+	fmt.Println(f.Contains([]byte("mallory")))
+	// Output:
+	// true
+	// false
+}
+
+func BenchmarkPublicContains(b *testing.B) {
+	pos, neg, negKeys, _ := workload(20000)
+	f, err := habf.New(pos, neg, 20000*12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Contains(negKeys[i%len(negKeys)])
+	}
+}

@@ -1,0 +1,161 @@
+// Package bitset provides the low-level bit storage shared by every filter
+// in this repository: a plain bit vector (Bits) and a packed array of
+// fixed-width unsigned lanes (Lanes).
+//
+// Both types are deliberately simple: no concurrency control (filters are
+// built single-threaded and queried read-only), explicit sizes, and binary
+// serialization so filters can report and persist their exact footprint.
+package bitset
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// Bits is a fixed-length bit vector. The zero value is an empty vector;
+// use New to allocate one with a given length.
+type Bits struct {
+	words []uint64
+	n     uint64
+}
+
+// New returns a bit vector with n bits, all zero.
+func New(n uint64) *Bits {
+	return &Bits{
+		words: make([]uint64, (n+63)/64),
+		n:     n,
+	}
+}
+
+// Len returns the number of bits in the vector.
+func (b *Bits) Len() uint64 { return b.n }
+
+// SizeBytes returns the heap footprint of the payload in bytes.
+func (b *Bits) SizeBytes() uint64 { return uint64(len(b.words)) * 8 }
+
+// Set sets bit i to 1. It panics if i is out of range.
+func (b *Bits) Set(i uint64) {
+	if i >= b.n {
+		panic(fmt.Sprintf("bitset: Set(%d) out of range [0,%d)", i, b.n))
+	}
+	b.words[i>>6] |= 1 << (i & 63)
+}
+
+// Clear sets bit i to 0. It panics if i is out of range.
+func (b *Bits) Clear(i uint64) {
+	if i >= b.n {
+		panic(fmt.Sprintf("bitset: Clear(%d) out of range [0,%d)", i, b.n))
+	}
+	b.words[i>>6] &^= 1 << (i & 63)
+}
+
+// Test reports whether bit i is 1. It panics if i is out of range.
+func (b *Bits) Test(i uint64) bool {
+	if i >= b.n {
+		panic(fmt.Sprintf("bitset: Test(%d) out of range [0,%d)", i, b.n))
+	}
+	return b.words[i>>6]&(1<<(i&63)) != 0
+}
+
+// OnesCount returns the number of set bits.
+func (b *Bits) OnesCount() uint64 {
+	var c uint64
+	for _, w := range b.words {
+		c += uint64(bits.OnesCount64(w))
+	}
+	return c
+}
+
+// FillRatio returns the fraction of set bits, in [0,1].
+// It returns 0 for an empty vector.
+func (b *Bits) FillRatio() float64 {
+	if b.n == 0 {
+		return 0
+	}
+	return float64(b.OnesCount()) / float64(b.n)
+}
+
+// Reset clears every bit.
+func (b *Bits) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Clone returns a deep copy of the vector.
+func (b *Bits) Clone() *Bits {
+	c := &Bits{words: make([]uint64, len(b.words)), n: b.n}
+	copy(c.words, b.words)
+	return c
+}
+
+// Equal reports whether two vectors have identical length and contents.
+func (b *Bits) Equal(o *Bits) bool {
+	if b.n != o.n {
+		return false
+	}
+	for i := range b.words {
+		if b.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Union ORs o into b. Both vectors must have the same length.
+func (b *Bits) Union(o *Bits) error {
+	if b.n != o.n {
+		return fmt.Errorf("bitset: union length mismatch %d != %d", b.n, o.n)
+	}
+	for i := range b.words {
+		b.words[i] |= o.words[i]
+	}
+	return nil
+}
+
+// Intersect ANDs o into b. Both vectors must have the same length.
+func (b *Bits) Intersect(o *Bits) error {
+	if b.n != o.n {
+		return fmt.Errorf("bitset: intersect length mismatch %d != %d", b.n, o.n)
+	}
+	for i := range b.words {
+		b.words[i] &= o.words[i]
+	}
+	return nil
+}
+
+const bitsMagic = uint32(0xb1750001)
+
+// MarshalBinary encodes the vector as a self-describing byte stream.
+func (b *Bits) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 12+len(b.words)*8)
+	binary.LittleEndian.PutUint32(out[0:4], bitsMagic)
+	binary.LittleEndian.PutUint64(out[4:12], b.n)
+	for i, w := range b.words {
+		binary.LittleEndian.PutUint64(out[12+i*8:], w)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary decodes a stream produced by MarshalBinary.
+func (b *Bits) UnmarshalBinary(data []byte) error {
+	if len(data) < 12 {
+		return errors.New("bitset: truncated header")
+	}
+	if binary.LittleEndian.Uint32(data[0:4]) != bitsMagic {
+		return errors.New("bitset: bad magic")
+	}
+	n := binary.LittleEndian.Uint64(data[4:12])
+	nw := int((n + 63) / 64)
+	if len(data) != 12+nw*8 {
+		return fmt.Errorf("bitset: want %d payload bytes, have %d", nw*8, len(data)-12)
+	}
+	b.n = n
+	b.words = make([]uint64, nw)
+	for i := range b.words {
+		b.words[i] = binary.LittleEndian.Uint64(data[12+i*8:])
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+// Package dataset generates the two workloads of the paper's evaluation
+// (§V-C) at configurable scale, plus the Zipf cost distributions applied
+// to them (§V-C "For cost distribution").
+//
+// The real Shalla's Blacklists and the authors' YCSB dump are not
+// redistributable at the original sizes, so this package synthesizes
+// equivalents that preserve the two properties the experiments depend on:
+//
+//   - Shalla: string URL keys with "evident characteristics" — the
+//     positive (blacklisted) URLs draw their domain tokens from a
+//     different distribution than the negatives, so a learned model can
+//     partially separate them;
+//   - YCSB: a 4-byte prefix plus a 64-bit integer with no learnable
+//     structure (§V-C2 verbatim).
+//
+// Both generators are deterministic in their seed, and positives and
+// negatives are guaranteed disjoint.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Pair is a generated workload: disjoint positive and negative key sets.
+type Pair struct {
+	Positives [][]byte
+	Negatives [][]byte
+}
+
+// shallaBadTokens skews toward the categories Shalla's blacklists cover
+// (the classifier signal).
+var shallaBadTokens = []string{
+	"casino", "poker", "bet", "adult", "xxx", "warez", "crack", "torrent",
+	"pharma", "pills", "spyware", "tracker", "click", "ads", "banner",
+	"phish", "malware", "botnet", "exploit", "darknet", "spam", "scam",
+}
+
+// shallaGoodTokens lean benign.
+var shallaGoodTokens = []string{
+	"news", "weather", "sports", "recipes", "school", "library", "museum",
+	"garden", "travel", "music", "science", "health", "shop", "blog",
+	"forum", "wiki", "mail", "maps", "docs", "photo", "video", "code",
+}
+
+var shallaTLDs = []string{".com", ".net", ".org", ".info", ".biz", ".io", ".ru", ".cn", ".de"}
+
+var shallaPathTokens = []string{
+	"index", "home", "view", "item", "page", "list", "cat", "show", "get",
+	"post", "user", "img", "static", "download", "archive", "2020", "2021",
+}
+
+// Shalla generates a URL workload with nPos blacklisted (positive) and
+// nNeg benign (negative) keys. Positives are dominated by bad tokens
+// (95/5 mix), negatives by good tokens, giving a strong but imperfect
+// classifier signal, like the real blacklist data.
+func Shalla(nPos, nNeg int, seed int64) Pair {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[string]bool, nPos+nNeg)
+
+	gen := func(bad bool, serial int) string {
+		var pool, alt []string
+		if bad {
+			pool, alt = shallaBadTokens, shallaGoodTokens
+		} else {
+			pool, alt = shallaGoodTokens, shallaBadTokens
+		}
+		tok := func() string {
+			if rng.Intn(20) < 19 {
+				return pool[rng.Intn(len(pool))]
+			}
+			return alt[rng.Intn(len(alt))]
+		}
+		domain := fmt.Sprintf("%s-%s%d", tok(), tok(), rng.Intn(1000))
+		tld := shallaTLDs[rng.Intn(len(shallaTLDs))]
+		path := shallaPathTokens[rng.Intn(len(shallaPathTokens))]
+		return fmt.Sprintf("http://%s%s/%s/%d", domain, tld, path, serial)
+	}
+
+	build := func(n int, bad bool) [][]byte {
+		out := make([][]byte, 0, n)
+		for serial := 0; len(out) < n; serial++ {
+			u := gen(bad, serial)
+			if seen[u] {
+				continue
+			}
+			seen[u] = true
+			out = append(out, []byte(u))
+		}
+		return out
+	}
+	return Pair{Positives: build(nPos, true), Negatives: build(nNeg, false)}
+}
+
+// YCSB generates a key-value-store workload: each key is a 4-byte prefix
+// ("usr:") followed by the 16-hex-digit rendering of a 64-bit integer from
+// a splitmix-style generator — no structure a classifier could learn.
+func YCSB(nPos, nNeg int, seed int64) Pair {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[uint64]bool, nPos+nNeg)
+	build := func(n int) [][]byte {
+		out := make([][]byte, 0, n)
+		for len(out) < n {
+			v := rng.Uint64()
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			out = append(out, []byte(fmt.Sprintf("usr:%016x", v)))
+		}
+		return out
+	}
+	return Pair{Positives: build(nPos), Negatives: build(nNeg)}
+}
+
+// ZipfCosts assigns a cost to each of n keys following a Zipf law with the
+// given skewness s over ranks 1..n: cost(rank r) ∝ 1/r^s. Skewness 0
+// yields the uniform distribution (all costs 1), matching §V-C. The rank
+// assignment is a random permutation of the keys (the paper shuffles the
+// generated distribution before applying it).
+func ZipfCosts(n int, skew float64, seed int64) []float64 {
+	costs := make([]float64, n)
+	if n == 0 {
+		return costs
+	}
+	if skew == 0 {
+		for i := range costs {
+			costs[i] = 1
+		}
+		return costs
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	for rank := 1; rank <= n; rank++ {
+		costs[perm[rank-1]] = zipfWeight(rank, skew)
+	}
+	return costs
+}
+
+// zipfWeight is the unnormalized Zipf mass of rank r at skewness s,
+// scaled so the tail stays well above floating-point underflow.
+func zipfWeight(rank int, s float64) float64 {
+	r := float64(rank)
+	var w float64
+	switch s {
+	case 1:
+		w = 1 / r
+	case 2:
+		w = 1 / (r * r)
+	case 3:
+		w = 1 / (r * r * r)
+	default:
+		w = math.Pow(r, -s)
+	}
+	return w * 1e6
+}

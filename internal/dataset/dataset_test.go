@@ -1,0 +1,210 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestShallaShape(t *testing.T) {
+	p := Shalla(1000, 800, 1)
+	if len(p.Positives) != 1000 || len(p.Negatives) != 800 {
+		t.Fatalf("sizes %d/%d, want 1000/800", len(p.Positives), len(p.Negatives))
+	}
+	for _, k := range append(append([][]byte{}, p.Positives...), p.Negatives...) {
+		if !bytes.HasPrefix(k, []byte("http://")) {
+			t.Fatalf("key %q is not a URL", k)
+		}
+	}
+}
+
+func TestShallaDisjoint(t *testing.T) {
+	p := Shalla(5000, 5000, 2)
+	seen := map[string]bool{}
+	for _, k := range p.Positives {
+		if seen[string(k)] {
+			t.Fatalf("duplicate positive %q", k)
+		}
+		seen[string(k)] = true
+	}
+	for _, k := range p.Negatives {
+		if seen[string(k)] {
+			t.Fatalf("negative %q collides with positive set", k)
+		}
+		seen[string(k)] = true
+	}
+}
+
+func TestShallaDeterministic(t *testing.T) {
+	a := Shalla(100, 100, 7)
+	b := Shalla(100, 100, 7)
+	for i := range a.Positives {
+		if !bytes.Equal(a.Positives[i], b.Positives[i]) {
+			t.Fatal("same seed, different positives")
+		}
+	}
+	c := Shalla(100, 100, 8)
+	diff := false
+	for i := range a.Positives {
+		if !bytes.Equal(a.Positives[i], c.Positives[i]) {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds, identical output")
+	}
+}
+
+// The "evident characteristics": bad tokens must dominate positive URLs
+// and be rare in negative URLs, or the learned-filter experiments lose
+// their discriminative signal.
+func TestShallaSignal(t *testing.T) {
+	p := Shalla(4000, 4000, 3)
+	badRate := func(keys [][]byte) float64 {
+		hits := 0
+		for _, k := range keys {
+			s := string(k)
+			for _, tok := range shallaBadTokens {
+				if strings.Contains(s, tok) {
+					hits++
+					break
+				}
+			}
+		}
+		return float64(hits) / float64(len(keys))
+	}
+	pos, neg := badRate(p.Positives), badRate(p.Negatives)
+	if pos < 0.8 {
+		t.Errorf("bad-token rate in positives %.2f, want >= 0.8", pos)
+	}
+	if neg > 0.55 {
+		t.Errorf("bad-token rate in negatives %.2f, want <= 0.55", neg)
+	}
+	if pos-neg < 0.3 {
+		t.Errorf("signal gap %.2f too small for a learnable dataset", pos-neg)
+	}
+}
+
+func TestYCSBShape(t *testing.T) {
+	p := YCSB(1000, 1000, 1)
+	for _, k := range append(append([][]byte{}, p.Positives...), p.Negatives...) {
+		if len(k) != 4+16 {
+			t.Fatalf("key %q length %d, want 20 (4-byte prefix + 16 hex)", k, len(k))
+		}
+		if !bytes.HasPrefix(k, []byte("usr:")) {
+			t.Fatalf("key %q lacks 4-byte prefix", k)
+		}
+	}
+}
+
+func TestYCSBDisjointAndDeterministic(t *testing.T) {
+	a := YCSB(3000, 3000, 5)
+	seen := map[string]bool{}
+	for _, k := range append(append([][]byte{}, a.Positives...), a.Negatives...) {
+		if seen[string(k)] {
+			t.Fatalf("duplicate key %q", k)
+		}
+		seen[string(k)] = true
+	}
+	b := YCSB(3000, 3000, 5)
+	for i := range a.Positives {
+		if !bytes.Equal(a.Positives[i], b.Positives[i]) {
+			t.Fatal("same seed, different output")
+		}
+	}
+}
+
+func TestZipfUniform(t *testing.T) {
+	costs := ZipfCosts(100, 0, 1)
+	for _, c := range costs {
+		if c != 1 {
+			t.Fatalf("skew 0 cost %v, want 1", c)
+		}
+	}
+}
+
+func TestZipfSkewShape(t *testing.T) {
+	for _, s := range []float64{0.5, 1.0, 1.5, 2.0, 3.0} {
+		costs := ZipfCosts(10000, s, 42)
+		sorted := append([]float64(nil), costs...)
+		sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+		// Ratio between rank-1 and rank-10 mass must be 10^s.
+		got := sorted[0] / sorted[9]
+		want := math.Pow(10, s)
+		if math.Abs(got-want)/want > 0.01 {
+			t.Errorf("skew %v: head ratio %.2f, want %.2f", s, got, want)
+		}
+		// Top 1% share grows with skew.
+		var top, total float64
+		for i, c := range sorted {
+			total += c
+			if i < 100 {
+				top += c
+			}
+		}
+		share := top / total
+		if s >= 1.5 && share < 0.5 {
+			t.Errorf("skew %v: top-1%% share %.2f, want dominant", s, share)
+		}
+	}
+}
+
+func TestZipfPermutationDiffersBySeed(t *testing.T) {
+	a := ZipfCosts(1000, 1.0, 1)
+	b := ZipfCosts(1000, 1.0, 2)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical rank assignment")
+	}
+}
+
+func TestZipfEmpty(t *testing.T) {
+	if got := ZipfCosts(0, 1.0, 1); len(got) != 0 {
+		t.Fatal("n=0 should yield empty slice")
+	}
+}
+
+// Property: Zipf costs are always positive and the multiset of costs is
+// seed-independent (only the permutation varies).
+func TestQuickZipfMass(t *testing.T) {
+	f := func(seed int64) bool {
+		a := ZipfCosts(500, 1.0, seed)
+		b := ZipfCosts(500, 1.0, seed+1)
+		sa := append([]float64(nil), a...)
+		sb := append([]float64(nil), b...)
+		sort.Float64s(sa)
+		sort.Float64s(sb)
+		for i := range sa {
+			if sa[i] <= 0 || sa[i] != sb[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkShalla(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Shalla(10000, 10000, int64(i))
+	}
+}
+
+func BenchmarkYCSB(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		YCSB(10000, 10000, int64(i))
+	}
+}

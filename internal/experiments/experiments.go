@@ -1,0 +1,202 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (§V, Figs. 8–15) as printable tables. Each FigNN function reproduces the
+// series of the corresponding figure; Run dispatches by identifier and the
+// cmd/habfbench binary exposes them on the command line.
+//
+// Scaling: the paper runs Shalla at 1.49 M positive keys and YCSB at
+// 12.5 M; this harness defaults to 40 k / 100 k and keeps all space
+// budgets proportional, so every point preserves the paper's bits-per-key.
+// The Config.Scale multiplier restores larger runs when wanted.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/bloom"
+	"repro/internal/dataset"
+	"repro/internal/habf"
+	"repro/internal/learned"
+	"repro/internal/metrics"
+	"repro/internal/phbf"
+	"repro/internal/wbf"
+	"repro/internal/xorfilter"
+)
+
+// Config scales and seeds an experiment run.
+type Config struct {
+	// Scale multiplies the default dataset sizes (40k Shalla / 100k YCSB
+	// per side). Default 1.0.
+	Scale float64
+	// Seed drives dataset generation and filter construction. Default 1.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+func (c Config) shallaN() int { return int(40000 * c.Scale) }
+func (c Config) ycsbN() int   { return int(100000 * c.Scale) }
+
+// Paper space grids expressed as bits per positive key, derived from the
+// published MB budgets over the published key counts (§V-E, §V-F):
+// Shalla 1.25–3.25 MB over 1.491 M keys, YCSB 12.5–32.5 MB over 12.5 M.
+var (
+	shallaBitsPerKey = []float64{7.0, 9.8, 12.7, 15.5, 18.3}
+	ycsbBitsPerKey   = []float64{8.4, 11.7, 15.1, 18.5, 21.8}
+)
+
+// paperMB converts a bits-per-key point back to the paper's MB label for
+// the given dataset so tables read like the figures.
+func paperMB(bpk float64, shalla bool) float64 {
+	if shalla {
+		return bpk * 1491178 / 8 / 1e6
+	}
+	return bpk * 12500611 / 8 / 1e6
+}
+
+// Table is one printable result series.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Header, "\t"))
+	for _, r := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(r, "\t"))
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// workload bundles a dataset with its cost assignment.
+type workload struct {
+	pos      [][]byte
+	neg      [][]byte
+	costs    []float64
+	weighted []habf.WeightedKey
+	shalla   bool
+}
+
+func newWorkload(p dataset.Pair, costs []float64, shalla bool) workload {
+	w := workload{pos: p.Positives, neg: p.Negatives, costs: costs, shalla: shalla}
+	w.weighted = make([]habf.WeightedKey, len(p.Negatives))
+	for i := range p.Negatives {
+		w.weighted[i] = habf.WeightedKey{Key: p.Negatives[i], Cost: costs[i]}
+	}
+	return w
+}
+
+func (c Config) shallaWorkload(skew float64) workload {
+	n := c.shallaN()
+	return newWorkload(dataset.Shalla(n, n, c.Seed), dataset.ZipfCosts(n, skew, c.Seed), true)
+}
+
+func (c Config) ycsbWorkload(skew float64) workload {
+	n := c.ycsbN()
+	return newWorkload(dataset.YCSB(n, n, c.Seed), dataset.ZipfCosts(n, skew, c.Seed), false)
+}
+
+// totalBits converts a bits-per-key point into an absolute budget.
+func (w workload) totalBits(bpk float64) uint64 {
+	return uint64(bpk * float64(len(w.pos)))
+}
+
+// buildFilter constructs the named filter at the given budget. The name
+// set matches the paper's legends.
+func buildFilter(name string, w workload, totalBits uint64, seed int64) (metrics.Filter, error) {
+	bpk := float64(totalBits) / float64(len(w.pos))
+	switch name {
+	case "HABF":
+		return habf.New(w.pos, w.weighted, habf.Params{TotalBits: totalBits, Seed: seed})
+	case "f-HABF":
+		return habf.New(w.pos, w.weighted, habf.Params{TotalBits: totalBits, Seed: seed, Fast: true})
+	case "BF":
+		return bloom.NewWithKeys(w.pos, bpk, bloom.StrategyCorpus)
+	case "BF(City64)":
+		return bloom.NewWithKeys(w.pos, bpk, bloom.StrategySeeded64)
+	case "BF(XXH128)":
+		return bloom.NewWithKeys(w.pos, bpk, bloom.StrategySplit128)
+	case "Xor":
+		return xorfilter.NewWithBudget(w.pos, bpk)
+	case "WBF":
+		conv := make([]wbf.WeightedKey, len(w.weighted))
+		for i, n := range w.weighted {
+			conv[i] = wbf.WeightedKey{Key: n.Key, Cost: n.Cost}
+		}
+		return wbf.New(w.pos, conv, wbf.Config{TotalBits: totalBits})
+	case "LBF":
+		return learned.NewLBF(w.pos, w.neg, totalBits, learned.TrainConfig{Seed: seed})
+	case "SLBF":
+		return learned.NewSLBF(w.pos, w.neg, totalBits, learned.TrainConfig{Seed: seed})
+	case "Ada-BF":
+		return learned.NewAdaBF(w.pos, w.neg, totalBits, learned.TrainConfig{Seed: seed})
+	case "PHBF":
+		return phbf.New(w.pos, phbf.Config{TotalBits: totalBits})
+	default:
+		return nil, fmt.Errorf("experiments: unknown filter %q", name)
+	}
+}
+
+// weightedFPRCell formats a weighted FPR measurement for a table cell.
+func weightedFPRCell(f metrics.Filter, w workload) string {
+	v, err := metrics.WeightedFPR(f, w.neg, w.costs)
+	if err != nil {
+		return "err"
+	}
+	return fmt.Sprintf("%.3e", v)
+}
+
+// registry maps figure identifiers to their generators.
+var registry = map[string]func(Config) []Table{
+	"fig08": Fig08,
+	"fig09": Fig09,
+	"fig10": Fig10,
+	"fig11": Fig11,
+	"fig12": Fig12,
+	"fig13": Fig13,
+	"fig14": Fig14,
+	"fig15": Fig15,
+	"abl":   Ablations,
+	"rel":   Related,
+	"lsm":   LSM,
+	"incr":  Incremental,
+}
+
+// All returns the known experiment identifiers, sorted.
+func All() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by identifier and prints its tables.
+func Run(id string, cfg Config, w io.Writer) error {
+	fn, ok := registry[id]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", id, All())
+	}
+	for _, t := range fn(cfg) {
+		t.Fprint(w)
+	}
+	return nil
+}

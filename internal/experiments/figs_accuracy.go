@@ -1,0 +1,367 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/habf"
+	"repro/internal/metrics"
+	"repro/internal/theory"
+)
+
+// Fig08 reproduces Fig. 8: measured optimized FPR (F*bf) against the
+// theoretical upper bound of Eq. 19, (a) varying k at b = 10 and
+// (b) varying bits-per-key at k = 4, on Shalla with uniform costs.
+func Fig08(cfg Config) []Table {
+	cfg = cfg.withDefaults()
+	w := cfg.shallaWorkload(0)
+
+	bound := func(st habf.Stats, k int, bpk float64, total uint64) float64 {
+		heBits := uint64(float64(total) * 0.25 / 1.25)
+		omega := heBits / 4
+		mBits := total - heBits
+		// |Hc| = usable family − k; cell size 5 in (a) exposes 15.
+		usable := 15
+		pc := theory.PcEstimate(k, bpk, len(w.neg), mBits, usable-k)
+		return theory.FStarUpper(st.FPRBefore, st.CollisionKeys, pc, k, omega, len(w.neg))
+	}
+
+	ta := Table{
+		ID:     "fig08a",
+		Title:  "real F*bf vs theoretic bound, b=10, k=2..10 (Shalla, uniform)",
+		Header: []string{"k", "Fbf before(%)", "real F*bf(%)", "theoretic bound(%)", "holds"},
+	}
+	for k := 2; k <= 10; k++ {
+		total := w.totalBits(10)
+		f, err := habf.New(w.pos, w.weighted, habf.Params{
+			TotalBits: total, K: k, CellBits: 5, Seed: cfg.Seed,
+		})
+		if err != nil {
+			ta.Rows = append(ta.Rows, []string{fmt.Sprint(k), "err", err.Error(), "", ""})
+			continue
+		}
+		st := f.Stats()
+		b := bound(st, k, 10, total)
+		ta.Rows = append(ta.Rows, []string{
+			fmt.Sprint(k),
+			fmt.Sprintf("%.4f", st.FPRBefore*100),
+			fmt.Sprintf("%.4f", st.FPRAfter*100),
+			fmt.Sprintf("%.4f", b*100),
+			fmt.Sprint(st.FPRAfter <= b+1e-12),
+		})
+	}
+
+	tb := Table{
+		ID:     "fig08b",
+		Title:  "real F*bf vs theoretic bound, k=4, b=4..13 (Shalla, uniform)",
+		Header: []string{"bits-per-key", "Fbf before(%)", "real F*bf(%)", "theoretic bound(%)", "holds"},
+	}
+	for b := 4; b <= 13; b++ {
+		total := w.totalBits(float64(b))
+		f, err := habf.New(w.pos, w.weighted, habf.Params{
+			TotalBits: total, K: 4, CellBits: 5, Seed: cfg.Seed,
+		})
+		if err != nil {
+			tb.Rows = append(tb.Rows, []string{fmt.Sprint(b), "err", err.Error(), "", ""})
+			continue
+		}
+		st := f.Stats()
+		bd := bound(st, 4, float64(b), total)
+		tb.Rows = append(tb.Rows, []string{
+			fmt.Sprint(b),
+			fmt.Sprintf("%.4f", st.FPRBefore*100),
+			fmt.Sprintf("%.4f", st.FPRAfter*100),
+			fmt.Sprintf("%.4f", bd*100),
+			fmt.Sprint(st.FPRAfter <= bd+1e-12),
+		})
+	}
+	return []Table{ta, tb}
+}
+
+// Fig09 reproduces Fig. 9: HABF parameter sensitivity on Shalla with
+// uniform costs — (a) the space split Δ and hash count k at a fixed 2 MB
+// equivalent budget, (b) HashExpressor cell size across space budgets.
+func Fig09(cfg Config) []Table {
+	cfg = cfg.withDefaults()
+	w := cfg.shallaWorkload(0)
+	const bpk2MB = 11.25 // 2 MB over 1.491 M keys ≈ 11.25 bits/key
+
+	ta := Table{
+		ID:     "fig09a-delta",
+		Title:  "weighted FPR vs Δ (space ratio), 2 MB equivalent, k=3",
+		Header: []string{"Δ", "weighted FPR"},
+	}
+	for _, delta := range []float64{0.05, 0.1, 0.25, 0.3, 0.5, 0.7, 0.9} {
+		f, err := habf.New(w.pos, w.weighted, habf.Params{
+			TotalBits: w.totalBits(bpk2MB), SpaceRatio: delta, Seed: cfg.Seed,
+		})
+		cell := "err"
+		if err == nil {
+			cell = weightedFPRCell(f, w)
+		}
+		ta.Rows = append(ta.Rows, []string{fmt.Sprintf("%.2f", delta), cell})
+	}
+
+	tk := Table{
+		ID:     "fig09a-k",
+		Title:  "weighted FPR vs k, 2 MB equivalent, Δ=0.25 (cell size 5)",
+		Header: []string{"k", "weighted FPR"},
+	}
+	for k := 2; k <= 8; k++ {
+		f, err := habf.New(w.pos, w.weighted, habf.Params{
+			TotalBits: w.totalBits(bpk2MB), K: k, CellBits: 5, Seed: cfg.Seed,
+		})
+		cell := "err"
+		if err == nil {
+			cell = weightedFPRCell(f, w)
+		}
+		tk.Rows = append(tk.Rows, []string{fmt.Sprint(k), cell})
+	}
+
+	tc := Table{
+		ID:     "fig09b",
+		Title:  "weighted FPR vs cell size across space (Shalla, uniform)",
+		Header: []string{"space(MB@paper)", "cell=3", "cell=4", "cell=5"},
+	}
+	for _, bpk := range shallaBitsPerKey {
+		row := []string{fmt.Sprintf("%.2f", paperMB(bpk, true))}
+		for _, cellBits := range []uint{3, 4, 5} {
+			f, err := habf.New(w.pos, w.weighted, habf.Params{
+				TotalBits: w.totalBits(bpk), CellBits: cellBits, Seed: cfg.Seed,
+			})
+			if err != nil {
+				row = append(row, "err")
+				continue
+			}
+			row = append(row, weightedFPRCell(f, w))
+		}
+		tc.Rows = append(tc.Rows, row)
+	}
+	return []Table{ta, tk, tc}
+}
+
+// costSensitive reports whether a filter's construction consumes the cost
+// assignment (and therefore must be rebuilt per cost shuffle).
+func costSensitive(name string) bool {
+	switch name {
+	case "HABF", "f-HABF", "WBF":
+		return true
+	}
+	return false
+}
+
+// reshuffled returns the workload with a fresh Zipf rank permutation, per
+// §V-C: "for each skewness factor, we randomly shuffle the generated Zipf
+// distribution 10 times ... and then calculate the average weighted FPR".
+func (w workload) reshuffled(skew float64, seed int64) workload {
+	if skew == 0 {
+		return w
+	}
+	costs := dataset.ZipfCosts(len(w.neg), skew, seed)
+	return newWorkload(dataset.Pair{Positives: w.pos, Negatives: w.neg}, costs, w.shalla)
+}
+
+// fprVsSpace renders one Fig. 10/11 panel: weighted FPR for each filter
+// across the space grid, averaged over reps cost shuffles (skewed panels
+// only; uniform costs have nothing to shuffle). Cost-insensitive filters
+// are built once and re-measured; cost-aware ones are rebuilt per shuffle.
+func fprVsSpace(id, title string, w workload, skew float64, reps int, grid []float64, filters []string, seed int64) Table {
+	t := Table{ID: id, Title: title}
+	t.Header = append([]string{"space(MB@paper)", "bits/key"}, filters...)
+	if skew == 0 {
+		reps = 1
+	}
+	shuffles := make([]workload, reps)
+	for r := range shuffles {
+		shuffles[r] = w.reshuffled(skew, seed+int64(r)*101)
+	}
+	for _, bpk := range grid {
+		row := []string{
+			fmt.Sprintf("%.2f", paperMB(bpk, w.shalla)),
+			fmt.Sprintf("%.1f", bpk),
+		}
+		for _, name := range filters {
+			var sum float64
+			var bad bool
+			var static metrics.Filter
+			for r := 0; r < reps; r++ {
+				wr := shuffles[r]
+				f := static
+				if f == nil {
+					var err error
+					f, err = buildFilter(name, wr, wr.totalBits(bpk), seed)
+					if err != nil {
+						bad = true
+						break
+					}
+					if !costSensitive(name) {
+						static = f
+					}
+				}
+				v, err := metrics.WeightedFPR(f, wr.neg, wr.costs)
+				if err != nil {
+					bad = true
+					break
+				}
+				sum += v
+			}
+			if bad {
+				row = append(row, "err")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.3e", sum/float64(reps)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Fig10 reproduces Fig. 10: weighted FPR vs space under uniform costs,
+// Shalla and YCSB, against non-learned and learned baselines.
+func Fig10(cfg Config) []Table {
+	cfg = cfg.withDefaults()
+	ws := cfg.shallaWorkload(0)
+	wy := cfg.ycsbWorkload(0)
+	return []Table{
+		fprVsSpace("fig10a", "uniform, Shalla, vs non-learned", ws, 0, 1, shallaBitsPerKey,
+			[]string{"HABF", "f-HABF", "BF", "Xor"}, cfg.Seed),
+		fprVsSpace("fig10b", "uniform, Shalla, vs learned", ws, 0, 1, shallaBitsPerKey,
+			[]string{"HABF", "f-HABF", "LBF", "Ada-BF", "SLBF"}, cfg.Seed),
+		fprVsSpace("fig10c", "uniform, YCSB, vs non-learned", wy, 0, 1, ycsbBitsPerKey,
+			[]string{"HABF", "f-HABF", "BF", "Xor"}, cfg.Seed),
+		fprVsSpace("fig10d", "uniform, YCSB, vs learned", wy, 0, 1, ycsbBitsPerKey,
+			[]string{"HABF", "f-HABF", "LBF", "Ada-BF", "SLBF"}, cfg.Seed),
+	}
+}
+
+// Fig11 reproduces Fig. 11: weighted FPR vs space under Zipf(1.0) costs;
+// WBF joins the non-learned panels.
+func Fig11(cfg Config) []Table {
+	cfg = cfg.withDefaults()
+	ws := cfg.shallaWorkload(1.0)
+	wy := cfg.ycsbWorkload(1.0)
+	return []Table{
+		fprVsSpace("fig11a", "zipf(1.0), Shalla, vs non-learned (avg of 3 shuffles)", ws, 1.0, 3, shallaBitsPerKey,
+			[]string{"HABF", "f-HABF", "BF", "Xor", "WBF"}, cfg.Seed),
+		fprVsSpace("fig11b", "zipf(1.0), Shalla, vs learned (avg of 3 shuffles)", ws, 1.0, 3, shallaBitsPerKey,
+			[]string{"HABF", "f-HABF", "LBF", "Ada-BF", "SLBF"}, cfg.Seed),
+		fprVsSpace("fig11c", "zipf(1.0), YCSB, vs non-learned (avg of 3 shuffles)", wy, 1.0, 3, ycsbBitsPerKey,
+			[]string{"HABF", "f-HABF", "BF", "Xor", "WBF"}, cfg.Seed),
+		fprVsSpace("fig11d", "zipf(1.0), YCSB, vs learned (avg of 3 shuffles)", wy, 1.0, 3, ycsbBitsPerKey,
+			[]string{"HABF", "f-HABF", "LBF", "Ada-BF", "SLBF"}, cfg.Seed),
+	}
+}
+
+// Fig13 reproduces Fig. 13: weighted FPR as cost skewness sweeps 0 → 3 at
+// a fixed 1.5 MB-equivalent budget on Shalla, averaging each point over 5
+// Zipf shuffles as §V-C prescribes (10 in the paper).
+func Fig13(cfg Config) []Table {
+	cfg = cfg.withDefaults()
+	const (
+		bpk  = 8.4 // 1.5 MB over 1.491 M keys
+		reps = 5
+	)
+	filters := []string{"HABF", "f-HABF", "BF", "Xor"}
+	t := Table{
+		ID:     "fig13",
+		Title:  "weighted FPR vs skewness, Shalla, 1.5 MB equivalent (avg of 5 shuffles)",
+		Header: append([]string{"skew"}, filters...),
+	}
+	base := cfg.shallaWorkload(0)
+	for _, skew := range []float64{0, 0.6, 1.2, 1.8, 2.4, 3.0} {
+		n := reps
+		if skew == 0 {
+			n = 1
+		}
+		row := []string{fmt.Sprintf("%.1f", skew)}
+		for _, name := range filters {
+			var sum float64
+			var bad bool
+			var static metrics.Filter
+			for r := 0; r < n; r++ {
+				wr := base.reshuffled(skew, cfg.Seed+int64(r)*919)
+				f := static
+				if f == nil {
+					var err error
+					f, err = buildFilter(name, wr, wr.totalBits(bpk), cfg.Seed)
+					if err != nil {
+						bad = true
+						break
+					}
+					if !costSensitive(name) {
+						static = f
+					}
+				}
+				v, err := metrics.WeightedFPR(f, wr.neg, wr.costs)
+				if err != nil {
+					bad = true
+					break
+				}
+				sum += v
+			}
+			if bad {
+				row = append(row, "err")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.3e", sum/float64(n)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return []Table{t}
+}
+
+// Fig14 reproduces Fig. 14: Bloom filter hash implementations (corpus,
+// City64-seeded, XXH128-split) against HABF on YCSB under uniform and
+// Zipf(1.0) costs.
+func Fig14(cfg Config) []Table {
+	cfg = cfg.withDefaults()
+	filters := []string{"HABF", "BF", "BF(City64)", "BF(XXH128)"}
+	return []Table{
+		fprVsSpace("fig14a", "uniform, YCSB, hash implementations", cfg.ycsbWorkload(0),
+			0, 1, ycsbBitsPerKey, filters, cfg.Seed),
+		fprVsSpace("fig14b", "zipf(1.0), YCSB, hash implementations (avg of 3 shuffles)", cfg.ycsbWorkload(1.0),
+			1.0, 3, ycsbBitsPerKey, filters, cfg.Seed),
+	}
+}
+
+// Ablations quantifies the design choices DESIGN.md §6 calls out, on a
+// Zipf(1.0) Shalla workload at 1.5 MB equivalent.
+func Ablations(cfg Config) []Table {
+	cfg = cfg.withDefaults()
+	w := cfg.shallaWorkload(1.0)
+	const bpk = 8.4
+	total := w.totalBits(bpk)
+
+	variants := []struct {
+		name string
+		p    habf.Params
+	}{
+		{"full HABF", habf.Params{TotalBits: total, Seed: cfg.Seed}},
+		{"no Γ (conflict detection off)", habf.Params{TotalBits: total, Seed: cfg.Seed, DisableGamma: true}},
+		{"no overlap ranking", habf.Params{TotalBits: total, Seed: cfg.Seed, DisableOverlapRanking: true}},
+		{"FIFO collision queue", habf.Params{TotalBits: total, Seed: cfg.Seed, DisableCostOrdering: true}},
+		{"f-HABF (double hashing + no Γ)", habf.Params{TotalBits: total, Seed: cfg.Seed, Fast: true}},
+	}
+	t := Table{
+		ID:     "ablations",
+		Title:  "TPJO design-choice ablations, Shalla zipf(1.0), 1.5 MB equivalent",
+		Header: []string{"variant", "weighted FPR", "optimized", "failed", "adjusted"},
+	}
+	for _, v := range variants {
+		f, err := habf.New(w.pos, w.weighted, v.p)
+		if err != nil {
+			t.Rows = append(t.Rows, []string{v.name, "err", "", "", ""})
+			continue
+		}
+		wf, _ := metrics.WeightedFPR(f, w.neg, w.costs)
+		st := f.Stats()
+		t.Rows = append(t.Rows, []string{
+			v.name,
+			fmt.Sprintf("%.3e", wf),
+			fmt.Sprint(st.Optimized),
+			fmt.Sprint(st.Failed),
+			fmt.Sprint(st.AdjustedPositives),
+		})
+	}
+	return []Table{t}
+}

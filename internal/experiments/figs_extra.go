@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/bloom"
+	"repro/internal/dataset"
+	"repro/internal/habf"
+	"repro/internal/lsm"
+)
+
+// Related compares HABF against the partitioned-hashing Bloom filter of
+// Hao et al. (SIGMETRICS 2007) — the closest prior work, which §II of the
+// paper positions as "a special case of customizing hash functions":
+// per-group selections instead of per-key, and no cost awareness.
+func Related(cfg Config) []Table {
+	cfg = cfg.withDefaults()
+	uniform := cfg.shallaWorkload(0)
+	skewed := cfg.shallaWorkload(1.0)
+	filters := []string{"HABF", "PHBF", "BF"}
+	return []Table{
+		fprVsSpace("related-uniform", "HABF vs partitioned hashing (Hao et al.), Shalla uniform",
+			uniform, 0, 1, shallaBitsPerKey, filters, cfg.Seed),
+		fprVsSpace("related-skewed", "HABF vs partitioned hashing (Hao et al.), Shalla zipf(1.0), avg of 3",
+			skewed, 1.0, 3, shallaBitsPerKey, filters, cfg.Seed),
+	}
+}
+
+// LSM replays the paper's motivating LevelDB scenario (§I): "the
+// frequently failed queries with heavy I/O overhead can be cached" — miss
+// traffic is Zipf-skewed toward hot keys, each run guard is either a
+// plain Bloom filter or an HABF built from the observed misses weighted
+// by (frequency × level read cost), and the metric is wasted simulated
+// I/O cost. This is the repository's integration experiment across the
+// lsm, dataset, bloom and habf packages.
+//
+// To keep the HashExpressor within its budget on small runs, each guard
+// optimizes only the hottest misses, capped at 2× the run's key count —
+// exactly the "cache the frequently failed queries" policy of §I.
+func LSM(cfg Config) []Table {
+	cfg = cfg.withDefaults()
+	n := cfg.ycsbN() / 4
+	if n < 2000 {
+		n = 2000
+	}
+	data := cfg.ycsbWorkload(0)
+	resident := data.pos[:n]
+	misses := data.neg[:n]
+	freq := dataset.ZipfCosts(n, 1.1, cfg.Seed) // hot misses repeat
+
+	// Deterministic query stream: 3n miss lookups sampled by frequency,
+	// interleaved 1:4 with resident hits.
+	var totalFreq float64
+	cum := make([]float64, n)
+	for i, f := range freq {
+		totalFreq += f
+		cum[i] = totalFreq
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 77))
+	stream := make([]int, 3*n)
+	for i := range stream {
+		x := rng.Float64() * totalFreq
+		stream[i] = sort.SearchFloat64s(cum, x)
+		if stream[i] >= n {
+			stream[i] = n - 1
+		}
+	}
+
+	// Hot-miss subset by frequency, for guard construction.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return freq[order[a]] > freq[order[b]] })
+
+	type policy struct {
+		name  string
+		guard lsm.FilterBuilder
+	}
+	policies := []policy{
+		{"no filter", nil},
+		{"BF guards", func(keys [][]byte, level int) lsm.Filter {
+			f, err := bloom.NewWithKeys(keys, 10, bloom.StrategySplit128)
+			if err != nil {
+				return nil
+			}
+			return f
+		}},
+		{"f-HABF guards", func(keys [][]byte, level int) lsm.Filter {
+			levelCost := float64(uint64(1) << level)
+			limit := 2 * len(keys)
+			if limit > n {
+				limit = n
+			}
+			negs := make([]habf.WeightedKey, 0, limit)
+			for _, idx := range order[:limit] {
+				negs = append(negs, habf.WeightedKey{
+					Key:  misses[idx],
+					Cost: freq[idx] * levelCost,
+				})
+			}
+			f, err := habf.New(keys, negs, habf.Params{
+				TotalBits: uint64(10 * len(keys)), Fast: true, Seed: cfg.Seed,
+			})
+			if err != nil {
+				return nil
+			}
+			return f
+		}},
+	}
+
+	t := Table{
+		ID:     "lsm",
+		Title:  fmt.Sprintf("LSM-tree guards, %d resident keys, %d zipf(1.1) miss lookups", n, len(stream)),
+		Header: []string{"guard policy", "disk reads", "wasted reads", "wasted cost", "filter rejects"},
+	}
+	for _, p := range policies {
+		s := lsm.New(lsm.Config{MemtableSize: 2048, NewFilter: p.guard})
+		for i, k := range resident {
+			s.Put(k, []byte(fmt.Sprintf("v%d", i)))
+		}
+		s.Flush()
+		s.ResetStats()
+		for i, idx := range stream {
+			s.Get(misses[idx])
+			if i%4 == 0 {
+				s.Get(resident[i%len(resident)])
+			}
+		}
+		st := s.Stats()
+		var reads, wasted, rejects uint64
+		for i := range st.Reads {
+			reads += st.Reads[i]
+			wasted += st.WastedReads[i]
+			rejects += st.FilterRejects[i]
+		}
+		t.Rows = append(t.Rows, []string{
+			p.name,
+			fmt.Sprint(reads),
+			fmt.Sprint(wasted),
+			fmt.Sprintf("%.0f", st.WastedCost),
+			fmt.Sprint(rejects),
+		})
+	}
+	return []Table{t}
+}

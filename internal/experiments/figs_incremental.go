@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/learned"
+)
+
+// Incremental evaluates the CA-LBF / IA-LBF variants of Bhattacharya et
+// al. (§II "Learning-based", incremental workloads): half of the Shalla
+// positives build the initial filter, the other half arrive as inserts,
+// and the table tracks FPR on held-out negatives, structure size and
+// cumulative insert cost after each batch. The shape to observe: CA-LBF
+// pays periodic retraining time to keep its size flat; IA-LBF inserts
+// cheaply and pays with backup-filter growth.
+func Incremental(cfg Config) []Table {
+	cfg = cfg.withDefaults()
+	w := cfg.shallaWorkload(0)
+	half := len(w.pos) / 2
+	build, extra := w.pos[:half], w.pos[half:]
+	trainNeg := w.neg[:len(w.neg)/2]
+	holdNeg := w.neg[len(w.neg)/2:]
+
+	const batches = 4
+	t := Table{
+		ID: "incr",
+		Title: fmt.Sprintf("incremental workload: %d initial keys + %d inserts in %d batches (Shalla)",
+			half, len(extra), batches),
+		Header: []string{"mode", "batch", "inserted", "holdout FPR", "size(KB)", "cum insert ms"},
+	}
+	for _, mode := range []learned.IncrementalMode{learned.ClassifierAdaptive, learned.IndexAdaptive} {
+		l, err := learned.NewIncremental(mode, build, trainNeg, learned.IncrementalConfig{
+			BackupBits:   uint64(half) * 6,
+			RetrainEvery: len(extra)/batches + 1,
+			Train:        learned.TrainConfig{Seed: cfg.Seed},
+		})
+		if err != nil {
+			t.Rows = append(t.Rows, []string{mode.String(), "err", err.Error(), "", "", ""})
+			continue
+		}
+		var cum time.Duration
+		report := func(batch, inserted int) {
+			fp := 0
+			for _, k := range holdNeg {
+				if l.Contains(k) {
+					fp++
+				}
+			}
+			t.Rows = append(t.Rows, []string{
+				mode.String(),
+				fmt.Sprint(batch),
+				fmt.Sprint(inserted),
+				fmt.Sprintf("%.3e", float64(fp)/float64(len(holdNeg))),
+				fmt.Sprintf("%.1f", float64(l.SizeBits())/8/1024),
+				fmt.Sprintf("%.0f", float64(cum.Milliseconds())),
+			})
+		}
+		report(0, 0)
+		per := len(extra) / batches
+		for b := 0; b < batches; b++ {
+			lo, hi := b*per, (b+1)*per
+			if b == batches-1 {
+				hi = len(extra)
+			}
+			start := time.Now()
+			for _, k := range extra[lo:hi] {
+				l.Insert(k)
+			}
+			cum += time.Since(start)
+			report(b+1, hi)
+		}
+	}
+	return []Table{t}
+}

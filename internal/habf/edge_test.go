@@ -1,0 +1,112 @@
+package habf
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Edge configurations: every legal (CellBits, K, Fast) combination must
+// construct, preserve zero FNR, and filter.
+func TestAllLegalConfigurations(t *testing.T) {
+	pos := genKeys(1500, "cfg-p")
+	neg := genNegatives(1500, "cfg-n", func(i int) float64 { return float64(i%5 + 1) })
+	for _, fast := range []bool{false, true} {
+		for cellBits := uint(3); cellBits <= 6; cellBits++ {
+			usable := usableFunctions(cellBits, fast)
+			for _, k := range []int{2, 3, usable} {
+				if k > usable || k < 2 {
+					continue
+				}
+				name := fmt.Sprintf("fast=%v/cell=%d/k=%d", fast, cellBits, k)
+				t.Run(name, func(t *testing.T) {
+					f, err := New(pos, neg, Params{
+						TotalBits: 1500 * 14,
+						CellBits:  cellBits,
+						K:         k,
+						Fast:      fast,
+						Seed:      3,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, key := range pos {
+						if !f.Contains(key) {
+							t.Fatalf("false negative at %s", name)
+						}
+					}
+					fp := 0
+					for _, n := range neg {
+						if f.Contains(n.Key) {
+							fp++
+						}
+					}
+					if rate := float64(fp) / float64(len(neg)); rate > 0.5 {
+						t.Errorf("%s: FPR %.2f; not filtering", name, rate)
+					}
+				})
+			}
+		}
+	}
+}
+
+// A budget so small that the Bloom array saturates must still construct
+// and keep zero FNR (FPR approaches 1, which is the honest answer).
+func TestSaturatedBudget(t *testing.T) {
+	pos := genKeys(2000, "tight")
+	neg := genNegatives(100, "tneg", uniformCost)
+	f, err := New(pos, neg, Params{TotalBits: 2048}) // ~1 bit/key
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range pos {
+		if !f.Contains(k) {
+			t.Fatal("zero-FNR violated under saturation")
+		}
+	}
+}
+
+// Very long and binary keys flow through every hash path.
+func TestExoticKeys(t *testing.T) {
+	long := make([]byte, 1<<16)
+	for i := range long {
+		long[i] = byte(i * 31)
+	}
+	pos := [][]byte{
+		long,
+		{0x00},
+		{0xff, 0x00, 0xff},
+		[]byte("ordinary"),
+	}
+	neg := []WeightedKey{{Key: []byte{0x01, 0x02}, Cost: 3}}
+	for _, fast := range []bool{false, true} {
+		f, err := New(pos, neg, Params{TotalBits: 4096, Fast: fast})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range pos {
+			if !f.Contains(k) {
+				t.Fatalf("fast=%v: lost exotic key of length %d", fast, len(k))
+			}
+		}
+	}
+}
+
+// Zero-cost negatives are legal (the paper's uniform case scales costs
+// arbitrarily); all-zero costs must not panic or divide by zero.
+func TestZeroCosts(t *testing.T) {
+	pos := genKeys(500, "z")
+	neg := genNegatives(500, "zn", func(int) float64 { return 0 })
+	f, err := New(pos, neg, Params{TotalBits: 500 * 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	if st.WeightedFPRBefore != 0 || st.WeightedFPRAfter != 0 {
+		t.Errorf("zero cost mass should yield zero weighted FPR, got %+v", st)
+	}
+	for _, k := range pos {
+		if !f.Contains(k) {
+			t.Fatal("zero costs broke membership")
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package habf
+
+import "repro/internal/hashes"
+
+// family adapts the two hashing regimes of the paper behind one interface:
+// the full Table II corpus for HABF, and Kirsch–Mitzenmacher simulated
+// hashing g_i(x) = h1(x) + (i+1)·h2(x) for f-HABF (§III-G).
+//
+// A keyState caches the per-key work (the two base hashes in fast mode) so
+// that walking several function indices for one key costs one strong hash
+// evaluation, mirroring f-HABF's speed advantage.
+type family struct {
+	fns  []hashes.Func // slow mode: the first `size` corpus functions
+	size int
+	fast bool
+	seed uint64
+}
+
+// keyState is the prepared per-key hashing context.
+type keyState struct {
+	key    []byte
+	h1, h2 uint64 // fast mode only
+}
+
+func newFamily(p Params) *family {
+	f := &family{
+		size: usableFunctions(p.CellBits, p.Fast),
+		fast: p.Fast,
+		seed: uint64(p.Seed)*0x9e3779b97f4a7c15 + 0xabcdef,
+	}
+	if !p.Fast {
+		f.fns = hashes.CorpusFuncs()[:f.size]
+	}
+	return f
+}
+
+// prepare computes the per-key context once.
+func (f *family) prepare(key []byte) keyState {
+	if !f.fast {
+		return keyState{key: key}
+	}
+	h1, h2 := hashes.Split128(key, f.seed)
+	return keyState{key: key, h1: h1, h2: h2}
+}
+
+// pos returns the position of the key under function idx, modulo mod.
+func (f *family) pos(ks keyState, idx uint8, mod uint64) uint64 {
+	if f.fast {
+		return hashes.EnhancedDouble(ks.h1, ks.h2, int(idx)+1) % mod
+	}
+	return f.fns[idx](ks.key) % mod
+}
+
+// entry returns the HashExpressor entry position f(e) (the "unified hash
+// function" of Table I), which must be independent of every family member.
+func (f *family) entry(ks keyState, mod uint64) uint64 {
+	if f.fast {
+		return hashes.Mix64(ks.h1^(ks.h2<<1)^f.seed) % mod
+	}
+	return hashes.XXH64Seed(ks.key, f.seed^0x517cc1b727220a95) % mod
+}

@@ -1,0 +1,84 @@
+package habf
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshalFilter hardens the wire format: arbitrary bytes must never
+// panic, and every accepted payload must re-marshal to an equivalent
+// filter.
+func FuzzUnmarshalFilter(f *testing.F) {
+	pos := genKeys(200, "fz")
+	neg := genNegatives(200, "fn", uniformCost)
+	built, err := New(pos, neg, Params{TotalBits: 1 << 13})
+	if err != nil {
+		f.Fatal(err)
+	}
+	good, err := built.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte("HABF"))
+	f.Add(good[:len(good)/2])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := UnmarshalFilter(data)
+		if err != nil {
+			return // rejected, fine
+		}
+		// Accepted payloads must be internally consistent: queries don't
+		// panic and a re-marshal is accepted again.
+		g.Contains([]byte("probe"))
+		g.Contains(nil)
+		out, err := g.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted filter failed to marshal: %v", err)
+		}
+		h, err := UnmarshalFilter(out)
+		if err != nil {
+			t.Fatalf("re-marshaled filter rejected: %v", err)
+		}
+		if h.Contains([]byte("probe")) != g.Contains([]byte("probe")) {
+			t.Fatal("re-marshaled filter disagrees")
+		}
+	})
+}
+
+// FuzzContains hammers the two-round query with arbitrary keys: no panics,
+// and determinism per key.
+func FuzzContains(f *testing.F) {
+	pos := genKeys(500, "fz")
+	neg := genNegatives(500, "fn", func(i int) float64 { return float64(i + 1) })
+	filter, err := New(pos, neg, Params{TotalBits: 1 << 14})
+	if err != nil {
+		f.Fatal(err)
+	}
+	fast, err := NewFast(pos, neg, Params{TotalBits: 1 << 14})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte("fz/0"))
+	f.Add([]byte(""))
+	f.Add([]byte{0xff, 0x00, 0x41})
+
+	f.Fuzz(func(t *testing.T, key []byte) {
+		a, b := filter.Contains(key), filter.Contains(key)
+		if a != b {
+			t.Fatal("HABF Contains not deterministic")
+		}
+		if fast.Contains(key) != fast.Contains(key) {
+			t.Fatal("f-HABF Contains not deterministic")
+		}
+		// Members must always pass, whatever the fuzzer feeds around them.
+		if bytes.HasPrefix(key, []byte("fz/")) {
+			for _, k := range pos[:3] {
+				if !filter.Contains(k) {
+					t.Fatal("member lost")
+				}
+			}
+		}
+	})
+}

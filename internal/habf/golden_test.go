@@ -1,0 +1,46 @@
+package habf
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestGoldenConstruction pins the exact construction outcome for a fixed
+// workload and seed. Any change to TPJO's decisions — candidate ordering,
+// V/Γ maintenance, HashExpressor search, the hash corpus — shows up here
+// before it silently shifts every experiment. Update the snapshot only
+// for intentional algorithmic changes.
+func TestGoldenConstruction(t *testing.T) {
+	pos := make([][]byte, 4000)
+	neg := make([]WeightedKey, 4000)
+	for i := range pos {
+		pos[i] = []byte(fmt.Sprintf("golden/member/%05d", i))
+	}
+	for i := range neg {
+		neg[i] = WeightedKey{
+			Key:  []byte(fmt.Sprintf("golden/outsider/%05d", i)),
+			Cost: float64(i%17 + 1),
+		}
+	}
+	f, err := New(pos, neg, Params{TotalBits: 4000 * 10, Seed: 12345})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := f.Stats().String()
+	const want = "collisions=120 optimized=120 failed=0 requeued=0 adjusted=119 inserts=119 FPR 3.0000%->0.0000% wFPR 3.2444%->0.0000%"
+	if got != want {
+		t.Errorf("golden stats drifted:\n got  %s\n want %s", got, want)
+	}
+
+	// Membership answers on a fixed probe set are part of the snapshot.
+	probes := 0
+	for i := 0; i < 10000; i++ {
+		if f.Contains([]byte(fmt.Sprintf("golden/probe/%05d", i))) {
+			probes++
+		}
+	}
+	const wantProbes = 280
+	if probes != wantProbes {
+		t.Errorf("golden probe positives drifted: got %d, want %d", probes, wantProbes)
+	}
+}

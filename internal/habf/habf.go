@@ -1,0 +1,252 @@
+package habf
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitset"
+)
+
+// Filter is a constructed Hash Adaptive Bloom Filter. It is safe for any
+// number of concurrent readers; Add (the only mutator) must be externally
+// synchronized against them.
+type Filter struct {
+	bf     *readonlyBits
+	bfBits *bitset.Bits // write path: serialization and Add
+	he     *hashExpressor
+	fam    *family
+	h0     []uint8
+	k      int
+	fast   bool
+	seed   int64
+	added  uint64
+	stats  Stats
+}
+
+// readonlyBits narrows *bitset.Bits to the read path so the query-time
+// structure cannot be mutated after construction.
+type readonlyBits struct {
+	bits interface {
+		Test(uint64) bool
+		Len() uint64
+		SizeBytes() uint64
+		FillRatio() float64
+	}
+}
+
+func (r *readonlyBits) Test(i uint64) bool { return r.bits.Test(i) }
+func (r *readonlyBits) Len() uint64        { return r.bits.Len() }
+func (r *readonlyBits) SizeBytes() uint64  { return r.bits.SizeBytes() }
+func (r *readonlyBits) FillRatio() float64 { return r.bits.FillRatio() }
+
+// New constructs an HABF over the positive set with knowledge of the
+// negative keys and their costs, per the TPJO algorithm of §III-D.
+//
+// positives and negatives should be disjoint (the problem definition of
+// §III-A assumes S ∩ O = ∅); overlapping keys are tolerated but waste
+// optimization effort. Costs must be non-negative. The paper's defaults
+// fill any zero Params field.
+func New(positives [][]byte, negatives []WeightedKey, p Params) (*Filter, error) {
+	p = p.withDefaults()
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if len(positives) == 0 {
+		return nil, fmt.Errorf("habf: empty positive key set")
+	}
+	for i, n := range negatives {
+		if n.Cost < 0 {
+			return nil, fmt.Errorf("habf: negative key %d has negative cost %v", i, n.Cost)
+		}
+	}
+
+	b := newBuilder(positives, negatives, p)
+	b.prepareKeys()
+	b.initBloomAndV()
+
+	b.optimized = make([]bool, len(negatives))
+	b.inGamma = make([]bool, len(negatives))
+	b.attempts = make([]uint8, len(negatives))
+	b.adjusted = make([]bool, len(positives))
+
+	b.stats.FPRBefore, b.stats.WeightedFPRBefore = b.measureFPR()
+
+	cq := b.buildCollisionQueue()
+	b.stats.CollisionKeys = len(cq)
+
+	for head := 0; head < len(cq); head++ {
+		j := cq[head]
+		if b.attempts[j] >= maxAdjustAttempts {
+			b.stats.Failed++
+			continue
+		}
+		b.attempts[j]++
+		if !b.negTestsPositive(j) {
+			// Broken by an earlier adjustment as a side effect; register it
+			// in Γ so later adjustments cannot silently re-break it.
+			b.addToGamma(j)
+			continue
+		}
+		if b.optimize(j) {
+			b.addToGamma(j)
+		} else {
+			b.stats.Failed++
+		}
+		if len(b.pendingVictims) > 0 {
+			cq = append(cq, b.pendingVictims...)
+			b.pendingVictims = b.pendingVictims[:0]
+		}
+	}
+
+	// Repair rounds: an adjustment that sets a previously clear bit can
+	// turn negatives that never collided before into collision keys. Γ
+	// only watches the optimized ones, so §III-D's "if the adjustment
+	// generates new collision keys, we insert them into the tail of CQ"
+	// needs a re-scan to be honored for the rest — and with Γ disabled
+	// (f-HABF) for all of them. Under skewed costs one re-broken hot key
+	// dominates the weighted FPR, so this sweep matters.
+	for round := 0; round < 2; round++ {
+		var broken []int32
+		for j := range b.negatives {
+			if b.attempts[j] < maxAdjustAttempts && b.negTestsPositive(int32(j)) {
+				broken = append(broken, int32(j))
+			}
+		}
+		if len(broken) == 0 {
+			break
+		}
+		if !p.DisableCostOrdering {
+			sort.SliceStable(broken, func(x, y int) bool {
+				return b.negatives[broken[x]].Cost > b.negatives[broken[y]].Cost
+			})
+		}
+		progress := false
+		for _, j := range broken {
+			b.attempts[j]++
+			if b.optimize(j) {
+				b.addToGamma(j)
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+
+	b.stats.Optimized = 0
+	for j := range b.negatives {
+		if b.optimized[j] && !b.negTestsPositive(int32(j)) {
+			b.stats.Optimized++
+		}
+	}
+	b.stats.HashExpressorInserts = b.he.Inserted()
+	b.stats.FPRAfter, b.stats.WeightedFPRAfter = b.measureFPR()
+
+	return &Filter{
+		bf:     &readonlyBits{bits: b.bf},
+		bfBits: b.bf,
+		he:     b.he,
+		fam:    b.fam,
+		h0:     b.h0,
+		k:      p.K,
+		fast:   p.Fast,
+		seed:   p.Seed,
+		stats:  b.stats,
+	}, nil
+}
+
+// NewFast constructs an f-HABF (§III-G): double hashing for speed and Γ
+// disabled. All other parameters keep the paper's defaults.
+func NewFast(positives [][]byte, negatives []WeightedKey, p Params) (*Filter, error) {
+	p.Fast = true
+	return New(positives, negatives, p)
+}
+
+// measureFPR computes the (unweighted, weighted) false-positive rates of
+// the current Bloom state over the given negatives under their effective
+// selections — used for the before/after statistics of §IV-B.
+func (b *builder) measureFPR() (plain, weighted float64) {
+	if len(b.negatives) == 0 {
+		return 0, 0
+	}
+	k := b.p.K
+	var fp, totalCost, fpCost float64
+	for j := range b.negatives {
+		pass := true
+		for s := 0; s < k; s++ {
+			if !b.bf.Test(b.negH0[j*k+s]) {
+				pass = false
+				break
+			}
+		}
+		c := b.negatives[j].Cost
+		totalCost += c
+		if pass {
+			fp++
+			fpCost += c
+		}
+	}
+	plain = fp / float64(len(b.negatives))
+	if totalCost > 0 {
+		weighted = fpCost / totalCost
+	}
+	return plain, weighted
+}
+
+// Contains reports whether key may be a member. The two-round pattern of
+// §III-E guarantees zero false negatives: positives that kept H0 pass
+// round one; adjusted positives are recovered from HashExpressor and pass
+// round two.
+func (f *Filter) Contains(key []byte) bool {
+	ks := f.fam.prepare(key)
+	m := f.bf.Len()
+	pass := true
+	for _, idx := range f.h0 {
+		if !f.bf.Test(f.fam.pos(ks, idx, m)) {
+			pass = false
+			break
+		}
+	}
+	if pass {
+		return true
+	}
+	var buf [32]uint8
+	phi := f.he.query(f.fam, ks, buf[:0])
+	if phi == nil {
+		// HashExpressor answered "no stored selection": φ(e) = H0, and the
+		// H0 check already failed.
+		return false
+	}
+	for _, idx := range phi {
+		if !f.bf.Test(f.fam.pos(ks, idx, m)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Name identifies the filter in experiment output.
+func (f *Filter) Name() string {
+	if f.fast {
+		return "f-HABF"
+	}
+	return "HABF"
+}
+
+// K returns the per-key hash budget.
+func (f *Filter) K() int { return f.k }
+
+// SizeBits returns the query-time footprint: Bloom bits plus HashExpressor
+// cells.
+func (f *Filter) SizeBits() uint64 {
+	return f.bf.SizeBytes()*8 + f.he.SizeBits()
+}
+
+// BloomBits returns Δ2, the Bloom filter share of the budget.
+func (f *Filter) BloomBits() uint64 { return f.bf.Len() }
+
+// FillRatio returns the Bloom filter's fraction of set bits.
+func (f *Filter) FillRatio() float64 { return f.bf.FillRatio() }
+
+// Stats returns construction statistics.
+func (f *Filter) Stats() Stats { return f.stats }

@@ -1,0 +1,114 @@
+package habf
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func buildForSerde(t testing.TB, fast bool) (*Filter, [][]byte, []WeightedKey) {
+	t.Helper()
+	pos := genKeys(3000, "ser-p")
+	neg := genNegatives(3000, "ser-n", func(i int) float64 { return float64(i%9 + 1) })
+	f, err := New(pos, neg, Params{TotalBits: 3000 * 12, Seed: 5, Fast: fast})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, pos, neg
+}
+
+func TestSerializeRoundtrip(t *testing.T) {
+	for _, fast := range []bool{false, true} {
+		t.Run(fmt.Sprintf("fast=%v", fast), func(t *testing.T) {
+			f, pos, neg := buildForSerde(t, fast)
+			data, err := f.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := UnmarshalFilter(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.Name() != f.Name() || g.K() != f.K() || g.SizeBits() != f.SizeBits() {
+				t.Fatal("metadata mismatch after roundtrip")
+			}
+			for _, k := range pos {
+				if !g.Contains(k) {
+					t.Fatalf("decoded filter lost member %q", k)
+				}
+			}
+			for i := 0; i < 5000; i++ {
+				probe := []byte(fmt.Sprintf("probe-%d", i))
+				if f.Contains(probe) != g.Contains(probe) {
+					t.Fatalf("decoded filter disagrees on %q", probe)
+				}
+			}
+			for _, n := range neg {
+				if f.Contains(n.Key) != g.Contains(n.Key) {
+					t.Fatalf("decoded filter disagrees on negative %q", n.Key)
+				}
+			}
+		})
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	f, _, _ := buildForSerde(t, false)
+	good, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"nil":        nil,
+		"short":      good[:10],
+		"bad magic":  append([]byte{1, 2, 3, 4}, good[4:]...),
+		"truncated":  good[:len(good)-5],
+		"trailing":   append(append([]byte(nil), good...), 0xFF),
+		"no-blocks":  good[:20],
+		"version":    func() []byte { b := append([]byte(nil), good...); b[4] = 9; return b }(),
+		"zero-k":     func() []byte { b := append([]byte(nil), good...); b[6] = 0; return b }(),
+		"cell-width": func() []byte { b := append([]byte(nil), good...); b[7] = 7; return b }(),
+	}
+	for name, data := range cases {
+		if _, err := UnmarshalFilter(data); err == nil {
+			t.Errorf("%s: corrupt input accepted", name)
+		}
+	}
+}
+
+// Property: serialization is a pure function of the filter, and decode ∘
+// encode is the identity on query behavior for random probes.
+func TestQuickSerializeStable(t *testing.T) {
+	f, _, _ := buildForSerde(t, false)
+	a, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("MarshalBinary not deterministic")
+	}
+	g, err := UnmarshalFilter(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(key []byte) bool { return f.Contains(key) == g.Contains(key) }
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSerializedSizeReasonable(t *testing.T) {
+	f, _, _ := buildForSerde(t, false)
+	data, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	logical := f.SizeBits() / 8
+	if uint64(len(data)) > logical+logical/8+128 {
+		t.Errorf("serialized %d bytes for %d logical bytes", len(data), logical)
+	}
+}

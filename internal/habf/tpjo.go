@@ -1,0 +1,422 @@
+package habf
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/bitset"
+)
+
+// builder carries the construction-time state of the TPJO algorithm
+// (§III-D): the Bloom bit array, the HashExpressor, and the two runtime
+// auxiliary indexes V (single-mapped bit index) and Γ (optimized-key
+// buckets). It is discarded after Build; only the query-time Filter
+// survives, which is what gives HABF its small resident footprint and its
+// larger construction footprint (Fig. 15).
+type builder struct {
+	p   Params
+	fam *family
+	rng *rand.Rand
+
+	m  uint64 // Bloom bits
+	bf *bitset.Bits
+	he *hashExpressor
+	h0 []uint8 // the initial selection H0 (function indices)
+
+	positives [][]byte
+	negatives []WeightedKey
+
+	posState []keyState // prepared hashing context per positive key
+	negState []keyState
+	posH0    []uint64 // k positions per positive key under H0 (flat)
+	negH0    []uint64 // k positions per negative key under H0 (flat)
+
+	// V: per Bloom bit, singleflag + the id of the first mapping key.
+	vSingle *bitset.Bits
+	vKey    []int32 // -1 = NULL
+
+	// Γ: buckets of optimized negative keys, keyed by bit position.
+	gamma     map[uint64][]int32
+	optimized []bool // negative key currently tests negative after opt.
+	inGamma   []bool
+	attempts  []uint8
+
+	// Adjusted positive keys and their customized selections.
+	adjusted []bool
+	phis     map[int32][]uint8
+
+	// pendingVictims collects re-broken optimized keys for the main loop
+	// to push onto the collision queue tail.
+	pendingVictims []int32
+
+	stats Stats
+}
+
+// Stats reports what TPJO did during construction.
+type Stats struct {
+	// CollisionKeys is T, the initial size of the collision queue.
+	CollisionKeys int
+	// Optimized is t, collision keys that end up testing negative. It can
+	// exceed CollisionKeys: the end-of-construction repair rounds also
+	// optimize negatives that only became collision keys through a later
+	// adjustment and therefore never entered the initial queue.
+	Optimized int
+	// Failed counts collision keys that could not be optimized.
+	Failed int
+	// Requeued counts re-broken optimized keys pushed back to the queue.
+	Requeued int
+	// AdjustedPositives counts positive keys whose selection was changed.
+	AdjustedPositives int
+	// HashExpressorInserts is the number of stored selections.
+	HashExpressorInserts uint64
+	// FPRBefore and FPRAfter are the unweighted Bloom FPRs over the given
+	// negative set before and after optimization (Fbf and F*bf of §IV-B).
+	FPRBefore, FPRAfter float64
+	// WeightedFPRBefore and WeightedFPRAfter weight the same measurements
+	// by key cost (Eq. 1).
+	WeightedFPRBefore, WeightedFPRAfter float64
+}
+
+func newBuilder(positives [][]byte, negatives []WeightedKey, p Params) *builder {
+	b := &builder{
+		p:         p,
+		fam:       newFamily(p),
+		rng:       rand.New(rand.NewSource(p.Seed)),
+		positives: positives,
+		negatives: negatives,
+		gamma:     make(map[uint64][]int32),
+		phis:      make(map[int32][]uint8),
+	}
+	heBits, bfBits := p.split()
+	b.m = bfBits
+	b.bf = bitset.New(b.m)
+	b.he = newHashExpressor(heBits, p.CellBits, p.K)
+
+	// H0: a random k-subset of the usable family, shared by all keys.
+	perm := b.rng.Perm(b.fam.size)
+	b.h0 = make([]uint8, p.K)
+	for i := 0; i < p.K; i++ {
+		b.h0[i] = uint8(perm[i])
+	}
+	sort.Slice(b.h0, func(i, j int) bool { return b.h0[i] < b.h0[j] })
+	return b
+}
+
+// prepareKeys computes hashing contexts and H0 positions for every key.
+func (b *builder) prepareKeys() {
+	k := b.p.K
+	b.posState = make([]keyState, len(b.positives))
+	b.posH0 = make([]uint64, len(b.positives)*k)
+	for i, key := range b.positives {
+		b.posState[i] = b.fam.prepare(key)
+		for s, idx := range b.h0 {
+			b.posH0[i*k+s] = b.fam.pos(b.posState[i], idx, b.m)
+		}
+	}
+	b.negState = make([]keyState, len(b.negatives))
+	b.negH0 = make([]uint64, len(b.negatives)*k)
+	for j := range b.negatives {
+		b.negState[j] = b.fam.prepare(b.negatives[j].Key)
+		for s, idx := range b.h0 {
+			b.negH0[j*k+s] = b.fam.pos(b.negState[j], idx, b.m)
+		}
+	}
+}
+
+// initBloomAndV inserts all positives with H0 and builds the V index in a
+// random order (§III-D, Fig. 4).
+func (b *builder) initBloomAndV() {
+	k := b.p.K
+	for i := range b.positives {
+		for s := 0; s < k; s++ {
+			b.bf.Set(b.posH0[i*k+s])
+		}
+	}
+	b.vSingle = bitset.New(b.m)
+	for i := uint64(0); i < b.m; i++ {
+		b.vSingle.Set(i) // singleflag initialized to 1
+	}
+	b.vKey = make([]int32, b.m)
+	for i := range b.vKey {
+		b.vKey[i] = -1
+	}
+	for _, i := range b.rng.Perm(len(b.positives)) {
+		for s := 0; s < k; s++ {
+			b.vInsert(int32(i), b.posH0[i*k+s])
+		}
+	}
+}
+
+// vInsert applies the three V-update cases of Fig. 4 for key id mapping to
+// unit pos.
+func (b *builder) vInsert(id int32, pos uint64) {
+	switch {
+	case b.vSingle.Test(pos) && b.vKey[pos] == -1:
+		b.vKey[pos] = id // Case 1: first mapping
+	case b.vSingle.Test(pos):
+		b.vSingle.Clear(pos) // Case 2: second mapping
+	default:
+		// Case 3: already multi-mapped; nothing changes.
+	}
+}
+
+// testNegativePositions reports whether negative key j currently passes the
+// Bloom check under H0 (i.e. is a collision key).
+func (b *builder) negTestsPositive(j int32) bool {
+	k := b.p.K
+	for s := 0; s < k; s++ {
+		if !b.bf.Test(b.negH0[int(j)*k+s]) {
+			return false
+		}
+	}
+	return true
+}
+
+// buildCollisionQueue gathers all colliding negatives, highest cost first
+// (the paper optimizes costly keys first because HashExpressor insertion
+// gets harder as it fills).
+func (b *builder) buildCollisionQueue() []int32 {
+	cq := make([]int32, 0, len(b.negatives)/8+1)
+	for j := range b.negatives {
+		if b.negTestsPositive(int32(j)) {
+			cq = append(cq, int32(j))
+		}
+	}
+	if !b.p.DisableCostOrdering {
+		sort.SliceStable(cq, func(x, y int) bool {
+			return b.negatives[cq[x]].Cost > b.negatives[cq[y]].Cost
+		})
+	}
+	return cq
+}
+
+// addToGamma registers an optimized key in the Γ buckets of its H0
+// positions (once per distinct bucket).
+func (b *builder) addToGamma(j int32) {
+	if b.p.DisableGamma {
+		b.optimized[j] = true
+		return
+	}
+	b.optimized[j] = true
+	if b.inGamma[j] {
+		return
+	}
+	b.inGamma[j] = true
+	k := b.p.K
+	seen := make(map[uint64]bool, k)
+	for s := 0; s < k; s++ {
+		pos := b.negH0[int(j)*k+s]
+		if !seen[pos] {
+			seen[pos] = true
+			b.gamma[pos] = append(b.gamma[pos], j)
+		}
+	}
+}
+
+// conflictVictims implements Algorithm 1: the optimized keys in bucket pos
+// that would become collision keys again if the Bloom bit at pos flipped
+// from 0 to 1.
+func (b *builder) conflictVictims(pos uint64) []int32 {
+	bucket := b.gamma[pos]
+	if len(bucket) == 0 {
+		return nil
+	}
+	k := b.p.K
+	var victims []int32
+	for _, j := range bucket {
+		if !b.optimized[j] {
+			continue // stale entry; key is back in the queue
+		}
+		wouldPass := true
+		for s := 0; s < k; s++ {
+			p := b.negH0[int(j)*k+s]
+			if p == pos {
+				continue
+			}
+			if !b.bf.Test(p) {
+				wouldPass = false
+				break
+			}
+		}
+		if wouldPass {
+			victims = append(victims, j)
+		}
+	}
+	return victims
+}
+
+// candidate is one possible adjustment of a positive key: replace the hash
+// slot mapping to the single-mapped unit with function hc.
+type candidate struct {
+	hc      uint8
+	npos    uint64  // position of es under hc
+	tier    int     // 0: bit already set; 1: new bit, no conflicts; 2: new bit, paid conflicts
+	damage  float64 // Θ of re-broken optimized keys (tier 2)
+	victims []int32
+}
+
+// optimize attempts to make collision key j test negative by adjusting one
+// positive key found through V, per phase-I of Fig. 3 and the example in
+// Fig. 7. It returns true on success.
+func (b *builder) optimize(j int32) bool {
+	k := b.p.K
+	cost := b.negatives[j].Cost
+	for s := 0; s < k; s++ {
+		pos := b.negH0[int(j)*k+s]
+		// ξck membership: singleflag = 1 ∧ keyid ≠ NULL.
+		if !b.vSingle.Test(pos) || b.vKey[pos] < 0 {
+			continue
+		}
+		es := b.vKey[pos]
+		if b.adjusted[es] {
+			// A stored selection cannot be re-stored (the HashExpressor
+			// path is immutable); skip, preserving zero FNR.
+			continue
+		}
+		// Find the H0 slot of es that maps to this unit.
+		huSlot := -1
+		for t := 0; t < k; t++ {
+			if b.posH0[int(es)*k+t] == pos {
+				huSlot = t
+				break
+			}
+		}
+		if huSlot < 0 {
+			continue // unreachable if V is consistent
+		}
+		cands := b.gatherCandidates(es, pos, cost)
+		if len(cands) == 0 {
+			continue
+		}
+		if b.applyBestCandidate(j, es, huSlot, pos, cands) {
+			return true
+		}
+	}
+	return false
+}
+
+// gatherCandidates enumerates replacement functions hc ∈ H − φ(es) and
+// classifies them into the three preference tiers.
+func (b *builder) gatherCandidates(es int32, clearedPos uint64, cost float64) []candidate {
+	inH0 := make(map[uint8]bool, len(b.h0))
+	for _, idx := range b.h0 {
+		inH0[idx] = true
+	}
+	var cands []candidate
+	for hc := 0; hc < b.fam.size; hc++ {
+		idx := uint8(hc)
+		if inH0[idx] {
+			continue
+		}
+		npos := b.fam.pos(b.posState[es], idx, b.m)
+		if npos == clearedPos {
+			// Re-setting the bit we are about to clear would leave the
+			// collision key positive; never a valid adjustment.
+			continue
+		}
+		if b.bf.Test(npos) {
+			cands = append(cands, candidate{hc: idx, npos: npos, tier: 0})
+			continue
+		}
+		if b.p.DisableGamma {
+			cands = append(cands, candidate{hc: idx, npos: npos, tier: 1})
+			continue
+		}
+		victims := b.conflictVictims(npos)
+		if len(victims) == 0 {
+			cands = append(cands, candidate{hc: idx, npos: npos, tier: 1})
+			continue
+		}
+		var damage float64
+		for _, v := range victims {
+			damage += b.negatives[v].Cost
+		}
+		if cost-damage >= 0 {
+			cands = append(cands, candidate{hc: idx, npos: npos, tier: 2, damage: damage, victims: victims})
+		}
+	}
+	sort.SliceStable(cands, func(x, y int) bool {
+		if cands[x].tier != cands[y].tier {
+			return cands[x].tier < cands[y].tier
+		}
+		return cands[x].damage < cands[y].damage
+	})
+	return cands
+}
+
+// applyBestCandidate walks candidates tier by tier, simulating the
+// HashExpressor insertion of each resulting selection and committing the
+// best insertable one (maximum cell overlap within the first tier that has
+// any insertable candidate, per the paper's Fig. 7 example).
+func (b *builder) applyBestCandidate(j, es int32, huSlot int, clearedPos uint64, cands []candidate) bool {
+	type planned struct {
+		cand candidate
+		phi  []uint8
+		plan insertPlan
+	}
+	i := 0
+	for i < len(cands) {
+		tier := cands[i].tier
+		var best *planned
+		for ; i < len(cands) && cands[i].tier == tier; i++ {
+			phi := make([]uint8, len(b.h0))
+			copy(phi, b.h0)
+			phi[huSlot] = cands[i].hc
+			plan, ok := b.he.simulate(b.fam, b.posState[es], phi)
+			if !ok {
+				continue
+			}
+			pl := planned{cand: cands[i], phi: phi, plan: plan}
+			if best == nil || (!b.p.DisableOverlapRanking && plan.overlap > best.plan.overlap) {
+				best = &pl
+			}
+			if b.p.DisableOverlapRanking {
+				break
+			}
+		}
+		if best == nil {
+			continue // no insertable candidate in this tier; try next tier
+		}
+		b.commitAdjustment(j, es, huSlot, clearedPos, best.cand, best.phi, best.plan)
+		return true
+	}
+	return false
+}
+
+// commitAdjustment performs phase-II plus all index maintenance:
+// store the new selection, clear the single-mapped bit, set the new bit,
+// update V, requeue any re-broken optimized keys, and register the freshly
+// optimized key in Γ.
+func (b *builder) commitAdjustment(j, es int32, huSlot int, clearedPos uint64, c candidate, phi []uint8, plan insertPlan) {
+	b.he.commit(plan)
+	b.phis[es] = phi
+	b.adjusted[es] = true
+	b.stats.AdjustedPositives++
+
+	// The cleared unit was mapped exactly once (by es); it returns to
+	// ⟨1, NULL⟩ and its Bloom bit can be switched off.
+	b.bf.Clear(clearedPos)
+	b.vKey[clearedPos] = -1
+
+	if !b.bf.Test(c.npos) {
+		b.bf.Set(c.npos)
+	}
+	b.vInsert(es, c.npos)
+
+	for _, v := range c.victims {
+		b.optimized[v] = false
+		b.stats.Requeued++
+	}
+	b.pendingVictims = append(b.pendingVictims, c.victims...)
+}
+
+// String renders the statistics in a compact human-readable form.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"collisions=%d optimized=%d failed=%d requeued=%d adjusted=%d inserts=%d FPR %.4f%%->%.4f%% wFPR %.4f%%->%.4f%%",
+		s.CollisionKeys, s.Optimized, s.Failed, s.Requeued, s.AdjustedPositives,
+		s.HashExpressorInserts,
+		s.FPRBefore*100, s.FPRAfter*100,
+		s.WeightedFPRBefore*100, s.WeightedFPRAfter*100)
+}

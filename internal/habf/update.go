@@ -1,0 +1,28 @@
+package habf
+
+// Incremental insertion. HABF is optimized for a construction-time
+// snapshot of S and O, but real deployments (memtable flushes, blacklist
+// updates) need to absorb new members between rebuilds. Add inserts a key
+// under the shared initial selection H0 — exactly how TPJO seeds every
+// key before optimization — so the two-round query finds it in round one
+// and the zero-false-negative contract is preserved.
+//
+// What Add cannot do is re-run the optimization: a new key's H0 bits may
+// re-collide previously optimized negative keys, so the weighted FPR
+// degrades gradually with the fraction of post-construction keys. Callers
+// should rebuild once AddedKeys grows to a few percent of the original
+// set, like any Bloom-filter deployment rotates filters.
+
+// Add inserts a key into the filter under H0. It must not run
+// concurrently with readers or other writers.
+func (f *Filter) Add(key []byte) {
+	ks := f.fam.prepare(key)
+	m := f.bfBits.Len()
+	for _, idx := range f.h0 {
+		f.bfBits.Set(f.fam.pos(ks, idx, m))
+	}
+	f.added++
+}
+
+// AddedKeys reports how many keys were inserted after construction.
+func (f *Filter) AddedKeys() uint64 { return f.added }

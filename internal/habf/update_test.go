@@ -1,0 +1,117 @@
+package habf
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestAddAfterConstruction(t *testing.T) {
+	for _, fast := range []bool{false, true} {
+		t.Run(fmt.Sprintf("fast=%v", fast), func(t *testing.T) {
+			pos := genKeys(3000, "orig")
+			neg := genNegatives(3000, "neg", uniformCost)
+			f, err := New(pos, neg, Params{TotalBits: 4000 * 12, Fast: fast})
+			if err != nil {
+				t.Fatal(err)
+			}
+			late := genKeys(500, "late")
+			for _, k := range late {
+				f.Add(k)
+				if !f.Contains(k) {
+					t.Fatalf("added key %q not visible", k)
+				}
+			}
+			if f.AddedKeys() != 500 {
+				t.Fatalf("AddedKeys = %d, want 500", f.AddedKeys())
+			}
+			// Original members (including TPJO-adjusted ones) unaffected.
+			for _, k := range pos {
+				if !f.Contains(k) {
+					t.Fatalf("original member %q lost after Add", k)
+				}
+			}
+		})
+	}
+}
+
+func TestAddDegradesGracefully(t *testing.T) {
+	pos := genKeys(4000, "orig")
+	neg := genNegatives(4000, "neg", uniformCost)
+	f, err := New(pos, neg, Params{TotalBits: 6000 * 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fprOn := func() float64 {
+		fp := 0
+		for _, n := range neg {
+			if f.Contains(n.Key) {
+				fp++
+			}
+		}
+		return float64(fp) / float64(len(neg))
+	}
+	before := fprOn()
+	for _, k := range genKeys(1000, "late") {
+		f.Add(k)
+	}
+	after := fprOn()
+	if after < before {
+		t.Fatalf("FPR fell after adding keys: %v -> %v", before, after)
+	}
+	// 25% extra keys on a filter sized for 150%: degradation must stay
+	// bounded (no catastrophic blowup).
+	if after > before+0.05 {
+		t.Errorf("FPR degraded too much after Add: %v -> %v", before, after)
+	}
+	t.Logf("FPR %v -> %v after 25%% extra keys", before, after)
+}
+
+func TestAddThenSerialize(t *testing.T) {
+	pos := genKeys(1000, "orig")
+	f, err := New(pos, nil, Params{TotalBits: 1 << 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Add([]byte("late-1"))
+	f.Add([]byte("late-2"))
+	data, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := UnmarshalFilter(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range [][]byte{[]byte("late-1"), []byte("late-2")} {
+		if !g.Contains(k) {
+			t.Fatalf("added key %q lost through serialization", k)
+		}
+	}
+}
+
+func TestConcurrentReaders(t *testing.T) {
+	pos := genKeys(5000, "c")
+	neg := genNegatives(5000, "n", uniformCost)
+	f, err := New(pos, neg, Params{TotalBits: 5000 * 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan bool)
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			ok := true
+			for i := 0; i < 2000; i++ {
+				if !f.Contains(pos[(i*7+w)%len(pos)]) {
+					ok = false
+				}
+				f.Contains(neg[(i*3+w)%len(neg)].Key)
+			}
+			done <- ok
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		if !<-done {
+			t.Fatal("concurrent reader observed a false negative")
+		}
+	}
+}

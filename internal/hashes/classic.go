@@ -1,0 +1,144 @@
+package hashes
+
+// This file holds the classic one-line string hashes of Table II, widened
+// to 64-bit accumulators. They are intentionally weak compared to the
+// functions in strong.go: the paper keeps them in H to demonstrate that
+// hash customization protects against skewed hash functions, and the
+// conflict-driven TPJO algorithm will simply route keys away from them
+// when they cluster.
+
+// DEK is Knuth's rotate-xor hash from The Art of Computer Programming.
+func DEK(data []byte) uint64 {
+	h := uint64(len(data))
+	for _, b := range data {
+		h = h<<5 ^ h>>59 ^ uint64(b)
+	}
+	return h
+}
+
+// PYHash is the classic CPython 2 string hash: multiply by 1000003, xor
+// the byte, and finally xor the length.
+func PYHash(data []byte) uint64 {
+	if len(data) == 0 {
+		return 0
+	}
+	h := uint64(data[0]) << 7
+	for _, b := range data {
+		h = h*1000003 ^ uint64(b)
+	}
+	return h ^ uint64(len(data))
+}
+
+// BRP is the "BP"-style shift-xor hash from the classic string-hash corpus.
+func BRP(data []byte) uint64 {
+	var h uint64
+	for _, b := range data {
+		h = h<<7 ^ uint64(b)
+	}
+	return h
+}
+
+// AP is Arash Partow's alternating shift hash.
+func AP(data []byte) uint64 {
+	h := uint64(0xaaaaaaaaaaaaaaaa)
+	for i, b := range data {
+		if i&1 == 0 {
+			h ^= h<<7 ^ uint64(b)*(h>>3)
+		} else {
+			h ^= ^(h<<11 + uint64(b) ^ (h >> 5))
+		}
+	}
+	return h
+}
+
+// NDJB is the xor variant of Bernstein's hash: h = h*33 ^ c.
+func NDJB(data []byte) uint64 {
+	h := uint64(5381)
+	for _, b := range data {
+		h = h*33 ^ uint64(b)
+	}
+	return h
+}
+
+// DJB is Bernstein's original additive hash: h = h*33 + c.
+func DJB(data []byte) uint64 {
+	h := uint64(5381)
+	for _, b := range data {
+		h = h*33 + uint64(b)
+	}
+	return h
+}
+
+// BKDR is the Brian Kernighan / Dennis Ritchie multiplier hash (seed 131).
+func BKDR(data []byte) uint64 {
+	var h uint64
+	for _, b := range data {
+		h = h*131 + uint64(b)
+	}
+	return h
+}
+
+// PJW is the classic Peter J. Weinberger hash, widened to 64 bits
+// (shift constants scaled ×2 from the 32-bit original).
+func PJW(data []byte) uint64 {
+	const (
+		bitsInUnit   = 64
+		threeQuarter = bitsInUnit * 3 / 4
+		oneEighth    = bitsInUnit / 8
+		highBits     = uint64(0xFF) << (bitsInUnit - oneEighth)
+	)
+	var h uint64
+	for _, b := range data {
+		h = h<<oneEighth + uint64(b)
+		if g := h & highBits; g != 0 {
+			h = (h ^ g>>threeQuarter) &^ highBits
+		}
+	}
+	return h
+}
+
+// JS is Justin Sobel's bitwise hash.
+func JS(data []byte) uint64 {
+	h := uint64(1315423911)
+	for _, b := range data {
+		h ^= h<<5 + uint64(b) + h>>2
+	}
+	return h
+}
+
+// RS is Robert Sedgewick's hash from Algorithms in C.
+func RS(data []byte) uint64 {
+	var (
+		h uint64
+		a uint64 = 63689
+	)
+	const bMul uint64 = 378551
+	for _, c := range data {
+		h = h*a + uint64(c)
+		a *= bMul
+	}
+	return h
+}
+
+// SDBM is the hash used by the sdbm database library.
+func SDBM(data []byte) uint64 {
+	var h uint64
+	for _, b := range data {
+		h = uint64(b) + h<<6 + h<<16 - h
+	}
+	return h
+}
+
+// ELF is the hash from the UNIX ELF object format (a PJW derivative with
+// the traditional 32-bit constants, widened).
+func ELF(data []byte) uint64 {
+	var h, g uint64
+	for _, b := range data {
+		h = h<<4 + uint64(b)
+		if g = h & 0xF000000000000000; g != 0 {
+			h ^= g >> 56
+		}
+		h &^= g
+	}
+	return h
+}

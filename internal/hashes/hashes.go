@@ -1,0 +1,128 @@
+// Package hashes implements the global hash-function family H of the paper
+// (Table II): 22 deterministic 64-bit hash functions over byte strings,
+// written from scratch on the standard library only.
+//
+// HABF draws each key's customized selection φ(e) from this corpus, so what
+// matters is that the functions are deterministic, cheap, and mutually
+// different — not that they are byte-identical to the reference C
+// implementations. The strong functions (xx64-, city-, murmur-style,
+// Jenkins) follow the published mixing structure of their namesakes; the
+// classic string hashes (DJB, BKDR, SDBM, ...) are the canonical one-line
+// recurrences widened to 64-bit accumulators. Several of the classics are
+// deliberately weak hashes: the paper keeps them in H to show that hash
+// customization also protects against skewed hash functions.
+package hashes
+
+// Func is a deterministic 64-bit hash over a byte string.
+type Func func(data []byte) uint64
+
+// Named couples a corpus function with its Table II name.
+type Named struct {
+	Name string
+	Fn   Func
+}
+
+// corpus is the fixed global family H. Order matters: HashExpressor cells
+// can only index the first 2^(cellBits-1)-1 entries, so the strongest
+// general-purpose functions come first (cell size 4 exposes the first 7,
+// cell size 5 the first 15, exactly as in §V-D3 of the paper).
+var corpus = []Named{
+	{"XX64", XXH64},
+	{"City64", City64},
+	{"Murmur64", Murmur64},
+	{"BOB", BOB},
+	{"OAAT", OAAT},
+	{"SuperFast", SuperFast},
+	{"Hsieh", Hsieh},
+	{"CRC32", CRC},
+	{"FNV", FNV1a},
+	{"DEK", DEK},
+	{"PYHash", PYHash},
+	{"BRP", BRP},
+	{"TWMX", TWMX},
+	{"APHash", AP},
+	{"NDJB", NDJB},
+	{"DJB", DJB},
+	{"BKDR", BKDR},
+	{"PJW", PJW},
+	{"JSHash", JS},
+	{"RSHash", RS},
+	{"SDBM", SDBM},
+	{"ELF", ELF},
+}
+
+// Corpus returns the global hash family H in its canonical order.
+// The returned slice is a copy; callers may reorder it freely.
+func Corpus() []Named {
+	out := make([]Named, len(corpus))
+	copy(out, corpus)
+	return out
+}
+
+// CorpusFuncs returns just the functions of H, in canonical order.
+func CorpusFuncs() []Func {
+	out := make([]Func, len(corpus))
+	for i, n := range corpus {
+		out[i] = n.Fn
+	}
+	return out
+}
+
+// CorpusSize returns |H|.
+func CorpusSize() int { return len(corpus) }
+
+// ByName returns the corpus function with the given Table II name.
+func ByName(name string) (Func, bool) {
+	for _, n := range corpus {
+		if n.Name == name {
+			return n.Fn, true
+		}
+	}
+	return nil, false
+}
+
+// Mix64 is the splitmix64 finalizer: a cheap full-avalanche 64-bit mixer
+// used to derive seeded variants and to post-condition weak values.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Seeded returns h(data) perturbed by seed with full avalanche. It is the
+// building block for the paper's BF(City64)/BF(XXH128) style filters that
+// derive k values from one strong hash plus k seeds.
+func Seeded(fn Func, data []byte, seed uint64) uint64 {
+	return Mix64(fn(data) ^ Mix64(seed))
+}
+
+// Split128 produces two independent 64-bit lanes from one key, in the
+// spirit of a 128-bit hash: the lanes come from structurally different
+// mixers (xx64 and city-style) so they do not cancel under double hashing.
+func Split128(data []byte, seed uint64) (hi, lo uint64) {
+	hi = XXH64Seed(data, seed)
+	lo = Mix64(City64(data) ^ Mix64(seed^0x9e3779b97f4a7c15))
+	return hi, lo
+}
+
+// Double implements the Kirsch–Mitzenmacher simulated hash g_i(x) =
+// h1(x) + i·h2(x) used by the split-128 Bloom variant (§III-G of the
+// paper). h2 is forced odd so that g_i cycles through all residues of a
+// power-of-two table.
+func Double(h1, h2 uint64, i int) uint64 {
+	return h1 + uint64(i)*(h2|1)
+}
+
+// EnhancedDouble is the Dillinger–Manolios triangular variant
+// g_i(x) = h1 + i·h2 + (i³-i)/6, which breaks the arithmetic-progression
+// correlation of plain double hashing. f-HABF derives its simulated
+// family from it: the paper cites Dillinger [31] for plain double
+// hashing's degradation, and per-key position diversity is exactly what
+// TPJO's candidate search needs.
+func EnhancedDouble(h1, h2 uint64, i int) uint64 {
+	u := uint64(i)
+	return h1 + u*(h2|1) + (u*u*u-u)/6
+}

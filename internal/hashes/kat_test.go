@@ -1,0 +1,101 @@
+package hashes
+
+import (
+	"hash/crc32"
+	"testing"
+)
+
+// Known-answer tests for the corpus functions whose reference values are
+// definitional or famous. These pin the implementations against silent
+// drift (a refactor that changes outputs would invalidate every
+// serialized filter).
+
+func TestKATXXH64Empty(t *testing.T) {
+	// The xxHash64 specification's value for the empty input, seed 0.
+	const want = uint64(0xEF46DB3751D8E999)
+	if got := XXH64(nil); got != want {
+		t.Fatalf("XXH64(empty) = %#x, want %#x", got, want)
+	}
+	if got := XXH64([]byte{}); got != want {
+		t.Fatalf("XXH64([]byte{}) = %#x, want %#x", got, want)
+	}
+}
+
+func TestKATMurmur64Empty(t *testing.T) {
+	// MurmurHash64A of the empty input with seed 0: h = 0^(0*m) = 0, and
+	// the finalizer maps 0 to 0.
+	if got := Murmur64(nil); got != 0 {
+		t.Fatalf("Murmur64(empty) = %#x, want 0", got)
+	}
+}
+
+func TestKATCRC32CheckValue(t *testing.T) {
+	// The canonical CRC-32/IEEE check value: crc32("123456789") =
+	// 0xCBF43926. Our CRC packs the IEEE value in the high 32 bits.
+	got := CRC([]byte("123456789"))
+	if uint32(got>>32) != 0xCBF43926 {
+		t.Fatalf("CRC high word = %#x, want 0xCBF43926", uint32(got>>32))
+	}
+	// And the low word must match hash/crc32's Castagnoli update.
+	want := crc32.Update(0xdeadbeef, crc32.MakeTable(crc32.Castagnoli), []byte("123456789"))
+	if uint32(got) != want {
+		t.Fatalf("CRC low word = %#x, want %#x", uint32(got), want)
+	}
+}
+
+func TestKATFNV1aBasis(t *testing.T) {
+	// FNV-1a of the empty input is the 64-bit offset basis.
+	if got := FNV1a(nil); got != 14695981039346656037 {
+		t.Fatalf("FNV1a(empty) = %d, want offset basis", got)
+	}
+	// One step: basis ^ 'a' then × prime (computed in variables so the
+	// compiler applies wrapping uint64 arithmetic, not constant folding).
+	basis, prime := uint64(14695981039346656037), uint64(1099511628211)
+	want := (basis ^ 'a') * prime
+	if got := FNV1a([]byte("a")); got != want {
+		t.Fatalf("FNV1a(a) = %d, want %d", got, want)
+	}
+}
+
+func TestKATClassicEmptyValues(t *testing.T) {
+	// The classic recurrences have definitional empty-input values.
+	cases := []struct {
+		name string
+		fn   Func
+		want uint64
+	}{
+		{"DJB", DJB, 5381},
+		{"NDJB", NDJB, 5381},
+		{"BKDR", BKDR, 0},
+		{"SDBM", SDBM, 0},
+		{"BRP", BRP, 0},
+		{"ELF", ELF, 0},
+		{"PJW", PJW, 0},
+		{"JSHash", JS, 1315423911},
+		{"RSHash", RS, 0},
+		{"PYHash", PYHash, 0},
+		{"DEK", DEK, 0},
+	}
+	for _, c := range cases {
+		if got := c.fn(nil); got != c.want {
+			t.Errorf("%s(empty) = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestKATDJBFirstSteps(t *testing.T) {
+	// djb2: h = h*33 + c.
+	if got := DJB([]byte("a")); got != 5381*33+'a' {
+		t.Fatalf("DJB(a) = %d", got)
+	}
+	if got := DJB([]byte("ab")); got != (5381*33+'a')*33+'b' {
+		t.Fatalf("DJB(ab) = %d", got)
+	}
+}
+
+func TestKATXXH64SeedIsNotNoop(t *testing.T) {
+	// Seeded empty input differs from the unseeded spec value.
+	if XXH64Seed(nil, 1) == XXH64(nil) {
+		t.Fatal("seed 1 produced the seed-0 value on empty input")
+	}
+}

@@ -1,0 +1,280 @@
+package learned
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/bloom"
+)
+
+// LBF is Kraska et al.'s Learned Bloom filter: a classifier with threshold
+// τ in front of a backup Bloom filter holding the classifier's false
+// negatives. Keys scoring ≥ τ are declared members immediately.
+type LBF struct {
+	model  Model
+	tau    float64
+	backup *bloom.Filter // nil when the model captures every positive
+	name   string
+}
+
+// NewLBF trains a logistic model on the labelled keys and builds an LBF
+// within totalBits (model parameters + backup filter). The threshold is
+// chosen by sweeping score quantiles of the negative sample and minimizing
+// the estimated overall FPR, as in the original paper.
+func NewLBF(positives, negatives [][]byte, totalBits uint64, cfg TrainConfig) (*LBF, error) {
+	model := TrainLogistic(positives, negatives, cfg)
+	return assembleLBF(model, "LBF", positives, negatives, totalBits)
+}
+
+// NewLBFWithGRU builds an LBF around the paper's 16-dim character GRU
+// instead of the hashed-trigram logistic model. Training subsamples very
+// large key sets (BPTT over millions of keys is impractical in pure Go);
+// the threshold sweep and backup assembly are identical to NewLBF.
+func NewLBFWithGRU(positives, negatives [][]byte, totalBits uint64) (*LBF, error) {
+	const trainCap = 8000 // per side
+	pt, nt := positives, negatives
+	if len(pt) > trainCap {
+		pt = pt[:trainCap]
+	}
+	if len(nt) > trainCap {
+		nt = nt[:trainCap]
+	}
+	model := TrainGRU(pt, nt, GRUConfig{})
+	return assembleLBF(model, "LBF(GRU)", positives, negatives, totalBits)
+}
+
+func assembleLBF(model Model, name string, positives, negatives [][]byte, totalBits uint64) (*LBF, error) {
+	if model.SizeBits() >= totalBits {
+		return nil, fmt.Errorf("learned: model (%d bits) exceeds budget (%d bits)", model.SizeBits(), totalBits)
+	}
+	backupBits := totalBits - model.SizeBits()
+
+	tau, fns := chooseTau(model, positives, negatives, backupBits)
+	l := &LBF{model: model, tau: tau, name: name}
+	if len(fns) > 0 {
+		bpk := float64(backupBits) / float64(len(fns))
+		backup, err := bloom.NewWithKeys(fns, bpk, bloom.StrategySplit128)
+		if err != nil {
+			return nil, err
+		}
+		l.backup = backup
+	}
+	return l, nil
+}
+
+// chooseTau sweeps candidate thresholds and returns the minimizer of the
+// estimated end-to-end FPR together with the model's false negatives (the
+// positives the backup filter must hold).
+func chooseTau(model Model, positives, negatives [][]byte, backupBits uint64) (float64, [][]byte) {
+	posScores := make([]float64, len(positives))
+	for i, k := range positives {
+		posScores[i] = model.Score(k)
+	}
+	negScores := make([]float64, len(negatives))
+	for i, k := range negatives {
+		negScores[i] = model.Score(k)
+	}
+	sortedNeg := append([]float64(nil), negScores...)
+	sort.Float64s(sortedNeg)
+
+	// Candidate τ values: high quantiles of the negative score
+	// distribution (targeting model FPRs of 10%, 5%, 2%, 1%, 0.5%, 0.1%)
+	// plus 1.0 (model disabled).
+	var candidates []float64
+	if len(sortedNeg) > 0 {
+		for _, q := range []float64{0.90, 0.95, 0.98, 0.99, 0.995, 0.999} {
+			candidates = append(candidates, sortedNeg[int(q*float64(len(sortedNeg)-1))])
+		}
+	}
+	candidates = append(candidates, 1.01) // sentinel: classify nothing positive
+
+	bestTau, bestEst := 1.01, math.Inf(1)
+	for _, tau := range candidates {
+		modelFP := 0
+		for _, s := range negScores {
+			if s >= tau {
+				modelFP++
+			}
+		}
+		fpModel := 0.0
+		if len(negScores) > 0 {
+			fpModel = float64(modelFP) / float64(len(negScores))
+		}
+		fn := 0
+		for _, s := range posScores {
+			if s < tau {
+				fn++
+			}
+		}
+		var fpBackup float64
+		if fn > 0 {
+			bpk := float64(backupBits) / float64(fn)
+			fpBackup = bloom.TheoreticalFPR(bpk, bloom.OptimalK(bpk))
+		}
+		est := fpModel + (1-fpModel)*fpBackup
+		if est < bestEst {
+			bestEst, bestTau = est, tau
+		}
+	}
+
+	var fns [][]byte
+	for i, k := range positives {
+		if posScores[i] < bestTau {
+			fns = append(fns, k)
+		}
+	}
+	return bestTau, fns
+}
+
+// Contains reports whether key may be a member. Positives below τ are in
+// the backup filter, so no false negatives.
+func (l *LBF) Contains(key []byte) bool {
+	if l.model.Score(key) >= l.tau {
+		return true
+	}
+	if l.backup == nil {
+		return false
+	}
+	return l.backup.Contains(key)
+}
+
+// Name identifies the filter in experiment output.
+func (l *LBF) Name() string { return l.name }
+
+// SizeBits returns model plus backup footprint.
+func (l *LBF) SizeBits() uint64 {
+	s := l.model.SizeBits()
+	if l.backup != nil {
+		s += l.backup.SizeBits()
+	}
+	return s
+}
+
+// SLBF is Mitzenmacher's Sandwiched LBF: an initial Bloom filter screens
+// all queries, then the LBF stage handles survivors. The initial filter
+// takes half of the non-model budget (the optimal split derived in the
+// SLBF paper is workload-dependent; one half is its recommended default
+// when the model FPR/FNR trade is balanced).
+type SLBF struct {
+	initial *bloom.Filter
+	lbf     *LBF
+}
+
+// NewSLBF trains a model and assembles the sandwich within totalBits.
+func NewSLBF(positives, negatives [][]byte, totalBits uint64, cfg TrainConfig) (*SLBF, error) {
+	model := TrainLogistic(positives, negatives, cfg)
+	if model.SizeBits() >= totalBits {
+		return nil, fmt.Errorf("learned: model (%d bits) exceeds budget (%d bits)", model.SizeBits(), totalBits)
+	}
+	rest := totalBits - model.SizeBits()
+	initialBits := rest / 2
+	bpk := float64(initialBits) / float64(len(positives))
+	initial, err := bloom.NewWithKeys(positives, bpk, bloom.StrategySplit128)
+	if err != nil {
+		return nil, err
+	}
+	lbf, err := assembleLBF(model, "SLBF", positives, negatives, totalBits-initial.SizeBits())
+	if err != nil {
+		return nil, err
+	}
+	return &SLBF{initial: initial, lbf: lbf}, nil
+}
+
+// Contains reports whether key may be a member.
+func (s *SLBF) Contains(key []byte) bool {
+	if !s.initial.Contains(key) {
+		return false
+	}
+	return s.lbf.Contains(key)
+}
+
+// Name identifies the filter in experiment output.
+func (s *SLBF) Name() string { return "SLBF" }
+
+// SizeBits returns the full sandwich footprint.
+func (s *SLBF) SizeBits() uint64 { return s.initial.SizeBits() + s.lbf.SizeBits() }
+
+// AdaBF is Dai & Shrivastava's Adaptive Learned Bloom filter: one shared
+// bit array, with the per-key hash count decreasing as the model score
+// increases (high-score keys are probably members, so fewer bits suffice).
+type AdaBF struct {
+	model      Model
+	bits       *bloom.Filter // shared array, queried with per-group k
+	boundaries []float64     // score quantile boundaries, ascending
+	ks         []int         // hash count per group, len = len(boundaries)+1
+}
+
+// adaGroups is the number of score groups g (the Ada-BF paper uses a
+// handful; 4 keeps tuning stable at our scales).
+const adaGroups = 4
+
+// NewAdaBF trains a model and builds the group-adaptive filter.
+func NewAdaBF(positives, negatives [][]byte, totalBits uint64, cfg TrainConfig) (*AdaBF, error) {
+	model := TrainLogistic(positives, negatives, cfg)
+	if model.SizeBits() >= totalBits {
+		return nil, fmt.Errorf("learned: model (%d bits) exceeds budget (%d bits)", model.SizeBits(), totalBits)
+	}
+	arrayBits := totalBits - model.SizeBits()
+
+	scores := make([]float64, len(positives))
+	for i, k := range positives {
+		scores[i] = model.Score(k)
+	}
+	sorted := append([]float64(nil), scores...)
+	sort.Float64s(sorted)
+	boundaries := make([]float64, adaGroups-1)
+	for g := 1; g < adaGroups; g++ {
+		boundaries[g-1] = sorted[g*len(sorted)/adaGroups]
+	}
+
+	bpk := float64(arrayBits) / float64(len(positives))
+	baseK := bloom.OptimalK(bpk)
+	ks := make([]int, adaGroups)
+	for g := 0; g < adaGroups; g++ {
+		// Lowest-score group gets baseK+1, highest gets max(1, baseK-2).
+		k := baseK + 1 - g
+		if k < 1 {
+			k = 1
+		}
+		ks[g] = k
+	}
+
+	arr, err := bloom.New(arrayBits, 30, bloom.StrategySplit128)
+	if err != nil {
+		return nil, err
+	}
+	a := &AdaBF{model: model, bits: arr, boundaries: boundaries, ks: ks}
+	for i, k := range positives {
+		a.insert(k, a.group(scores[i]))
+	}
+	return a, nil
+}
+
+func (a *AdaBF) group(score float64) int {
+	for g, b := range a.boundaries {
+		if score < b {
+			return g
+		}
+	}
+	return adaGroups - 1
+}
+
+func (a *AdaBF) insert(key []byte, g int) {
+	a.bits.AddK(key, a.ks[g])
+}
+
+// Contains reports whether key may be a member, checking the hash count of
+// the key's score group. Group assignment is deterministic in the key, so
+// inserted keys are always re-checked with the same k — zero false
+// negatives.
+func (a *AdaBF) Contains(key []byte) bool {
+	g := a.group(a.model.Score(key))
+	return a.bits.ContainsK(key, a.ks[g])
+}
+
+// Name identifies the filter in experiment output.
+func (a *AdaBF) Name() string { return "Ada-BF" }
+
+// SizeBits returns model plus bit-array footprint.
+func (a *AdaBF) SizeBits() uint64 { return a.model.SizeBits() + a.bits.SizeBits() }

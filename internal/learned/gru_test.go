@@ -1,0 +1,110 @@
+package learned
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestGRULearnsStructuredKeys(t *testing.T) {
+	if testing.Short() {
+		t.Skip("GRU training is slow; skipped with -short")
+	}
+	p := dataset.Shalla(3000, 3000, 21)
+	train := 2000
+	g := TrainGRU(p.Positives[:train], p.Negatives[:train], GRUConfig{Epochs: 2, Seed: 3})
+	got := auc(g, p.Positives[train:], p.Negatives[train:])
+	if got < 0.80 {
+		t.Errorf("GRU holdout AUC on Shalla = %.3f, want >= 0.80", got)
+	}
+	t.Logf("GRU holdout AUC: %.3f", got)
+}
+
+func TestGRUCannotLearnRandomKeys(t *testing.T) {
+	if testing.Short() {
+		t.Skip("GRU training is slow; skipped with -short")
+	}
+	p := dataset.YCSB(1500, 1500, 21)
+	train := 1000
+	g := TrainGRU(p.Positives[:train], p.Negatives[:train], GRUConfig{Epochs: 2, Seed: 3})
+	got := auc(g, p.Positives[train:], p.Negatives[train:])
+	if got > 0.62 || got < 0.38 {
+		t.Errorf("GRU holdout AUC on YCSB = %.3f, want ≈0.5", got)
+	}
+}
+
+func TestGRUScoreRangeAndDeterminism(t *testing.T) {
+	p := dataset.Shalla(300, 300, 5)
+	g := TrainGRU(p.Positives, p.Negatives, GRUConfig{Epochs: 1, Seed: 7})
+	for _, key := range [][]byte{nil, {}, []byte("x"), p.Positives[0], p.Negatives[0]} {
+		s := g.Score(key)
+		if s < 0 || s > 1 {
+			t.Fatalf("score %v out of range for %q", s, key)
+		}
+		if s != g.Score(key) {
+			t.Fatalf("Score not deterministic for %q", key)
+		}
+	}
+}
+
+func TestGRUSizeBits(t *testing.T) {
+	p := dataset.Shalla(100, 100, 5)
+	g := TrainGRU(p.Positives, p.Negatives, GRUConfig{Epochs: 1})
+	// 256×32 embeddings + 3×(16×32) + 3×(16×16) + 3×16 + 16 + 1 params.
+	want := uint64(256*32+3*16*32+3*16*16+3*16+16+1) * 32
+	if g.SizeBits() != want {
+		t.Fatalf("SizeBits = %d, want %d", g.SizeBits(), want)
+	}
+}
+
+func TestGRUTruncatesLongKeys(t *testing.T) {
+	p := dataset.Shalla(100, 100, 5)
+	g := TrainGRU(p.Positives, p.Negatives, GRUConfig{Epochs: 1, MaxLen: 8})
+	long := make([]byte, 10000)
+	for i := range long {
+		long[i] = byte(i)
+	}
+	// Must not panic and must equal the truncated prefix's score.
+	if g.Score(long) != g.Score(long[:8]) {
+		t.Fatal("truncation semantics violated")
+	}
+}
+
+func TestGRUBackedLBF(t *testing.T) {
+	if testing.Short() {
+		t.Skip("GRU training is slow; skipped with -short")
+	}
+	// The GRU plugs into the same LBF assembly as the logistic model.
+	p := dataset.Shalla(2000, 2000, 9)
+	g := TrainGRU(p.Positives, p.Negatives, GRUConfig{Epochs: 2, Seed: 4})
+	lbf, err := assembleLBF(g, "LBF(GRU)", p.Positives, p.Negatives, uint64(2000*200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range p.Positives {
+		if !lbf.Contains(k) {
+			t.Fatalf("GRU-backed LBF lost member %q", k)
+		}
+	}
+	fp := 0
+	for _, k := range p.Negatives {
+		if lbf.Contains(k) {
+			fp++
+		}
+	}
+	rate := float64(fp) / float64(len(p.Negatives))
+	if rate > 0.2 {
+		t.Errorf("GRU-backed LBF FPR %.3f; not a useful filter", rate)
+	}
+	t.Logf("GRU-backed LBF FPR %.4f", rate)
+}
+
+func BenchmarkGRUScore(b *testing.B) {
+	p := dataset.Shalla(200, 200, 5)
+	g := TrainGRU(p.Positives, p.Negatives, GRUConfig{Epochs: 1})
+	key := p.Negatives[0]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Score(key)
+	}
+}

@@ -1,0 +1,158 @@
+package learned
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func incrWorkload() (build, extra, neg [][]byte) {
+	p := dataset.Shalla(8000, 4000, 3)
+	return p.Positives[:4000], p.Positives[4000:], p.Negatives
+}
+
+func TestIncrementalValidation(t *testing.T) {
+	pos, _, neg := incrWorkload()
+	if _, err := NewIncremental(IndexAdaptive, nil, neg, IncrementalConfig{BackupBits: 4096}); err == nil {
+		t.Error("empty positives accepted")
+	}
+	if _, err := NewIncremental(IndexAdaptive, pos[:10], neg, IncrementalConfig{}); err == nil {
+		t.Error("zero backup budget accepted")
+	}
+}
+
+func TestIncrementalZeroFNRAcrossInserts(t *testing.T) {
+	for _, mode := range []IncrementalMode{ClassifierAdaptive, IndexAdaptive} {
+		t.Run(mode.String(), func(t *testing.T) {
+			build, extra, neg := incrWorkload()
+			l, err := NewIncremental(mode, build, neg, IncrementalConfig{
+				BackupBits:   uint64(len(build)) * 4,
+				RetrainEvery: 1500,
+				Train:        TrainConfig{Epochs: 2},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Initial members present.
+			for _, k := range build {
+				if !l.Contains(k) {
+					t.Fatalf("initial member %q lost", k)
+				}
+			}
+			// Insert incrementally and verify continuously (including
+			// across CA-LBF retrains at 1500 and 3000 inserts).
+			for i, k := range extra {
+				l.Insert(k)
+				if !l.Contains(k) {
+					t.Fatalf("inserted key %q not visible immediately", k)
+				}
+				if i%500 == 0 {
+					for _, old := range build[:100] {
+						if !l.Contains(old) {
+							t.Fatalf("old member %q lost after %d inserts", old, i+1)
+						}
+					}
+				}
+			}
+			// Everything still present at the end.
+			for _, k := range append(append([][]byte{}, build...), extra...) {
+				if !l.Contains(k) {
+					t.Fatalf("%s: member %q lost at end", mode, k)
+				}
+			}
+		})
+	}
+}
+
+func TestCALBFRetrains(t *testing.T) {
+	build, extra, neg := incrWorkload()
+	l, err := NewIncremental(ClassifierAdaptive, build, neg, IncrementalConfig{
+		BackupBits:   uint64(len(build)) * 4,
+		RetrainEvery: 100,
+		Train:        TrainConfig{Epochs: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range extra[:250] {
+		l.Insert(k)
+	}
+	// After 250 inserts at a 100-insert cadence, the counter must have
+	// wrapped at least twice.
+	if l.SinceLastRetrain() >= 100 {
+		t.Errorf("retrain cadence not honored: %d since last", l.SinceLastRetrain())
+	}
+}
+
+func TestIALBFMemoryGrows(t *testing.T) {
+	build, extra, neg := incrWorkload()
+	l, err := NewIncremental(IndexAdaptive, build, neg, IncrementalConfig{
+		BackupBits: 4096, // deliberately tiny so growth must trigger
+		Train:      TrainConfig{Epochs: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := l.SizeBits()
+	for _, k := range extra {
+		l.Insert(k)
+	}
+	if l.SizeBits() <= before {
+		t.Errorf("IA-LBF did not grow: %d -> %d bits with %d backup keys",
+			before, l.SizeBits(), l.BackupKeys())
+	}
+}
+
+func TestIncrementalFPRStaysUseful(t *testing.T) {
+	build, extra, neg := incrWorkload()
+	for _, mode := range []IncrementalMode{ClassifierAdaptive, IndexAdaptive} {
+		l, err := NewIncremental(mode, build, neg[:2000], IncrementalConfig{
+			BackupBits:   uint64(len(build)) * 6,
+			RetrainEvery: 2000,
+			Train:        TrainConfig{Epochs: 2},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range extra {
+			l.Insert(k)
+		}
+		// Held-out negatives (not used in training).
+		fp := 0
+		hold := neg[2000:]
+		for _, k := range hold {
+			if l.Contains(k) {
+				fp++
+			}
+		}
+		rate := float64(fp) / float64(len(hold))
+		if rate > 0.25 {
+			t.Errorf("%s: FPR %.3f after inserts; filter degenerated", mode, rate)
+		}
+		t.Logf("%s: holdout FPR %.4f, size %d bits, backup %d keys",
+			mode, rate, l.SizeBits(), l.BackupKeys())
+	}
+}
+
+func TestIncrementalNamesAndModes(t *testing.T) {
+	if ClassifierAdaptive.String() != "CA-LBF" || IndexAdaptive.String() != "IA-LBF" {
+		t.Fatal("mode names wrong")
+	}
+}
+
+func BenchmarkIncrementalInsert(b *testing.B) {
+	build, _, neg := incrWorkload()
+	l, err := NewIncremental(IndexAdaptive, build, neg, IncrementalConfig{
+		BackupBits: uint64(len(build)) * 8,
+		Train:      TrainConfig{Epochs: 1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Insert([]byte(fmt.Sprintf("bench-insert/%d", i)))
+	}
+}

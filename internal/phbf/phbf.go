@@ -1,0 +1,161 @@
+// Package phbf implements the partitioned-hashing Bloom filter of Hao,
+// Kodialam & Lakshman ("Building high accuracy bloom filters using
+// partitioned hashing", SIGMETRICS 2007) — the closest prior work to
+// HABF. §II of the HABF paper positions it as "a special case of
+// customizing hash functions": keys are grouped into disjoint subsets by
+// a partition hash, and each *group* (not each key) gets its own hash
+// set, chosen greedily to minimize the number of set bits.
+//
+// The implementation follows the paper's one-pass greedy: groups are
+// processed in order; for each group a small number of candidate seed
+// sets are tried and the one that sets the fewest new bits wins. The
+// per-group winning seed is the only metadata kept for query time, so
+// the structure stays within a whisker of plain Bloom space.
+package phbf
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitset"
+	"repro/internal/hashes"
+)
+
+// Filter is a partitioned-hashing Bloom filter.
+type Filter struct {
+	bits   *bitset.Bits
+	k      int
+	groups int
+	seeds  []uint64 // winning seed per group
+}
+
+// Config tunes construction.
+type Config struct {
+	// TotalBits is the bit-array budget. Required.
+	TotalBits uint64
+	// K is the per-key hash count. Default ln2 · bits-per-key.
+	K int
+	// Groups is the number of key partitions. Default 64.
+	Groups int
+	// Candidates is how many seed sets are tried per group. Default 8.
+	Candidates int
+}
+
+func (c Config) withDefaults(n int) Config {
+	if c.K == 0 {
+		bpk := float64(c.TotalBits) / float64(n)
+		c.K = int(math.Round(math.Ln2 * bpk))
+		if c.K < 1 {
+			c.K = 1
+		}
+	}
+	if c.Groups == 0 {
+		c.Groups = 64
+	}
+	if c.Candidates == 0 {
+		c.Candidates = 8
+	}
+	return c
+}
+
+// New builds the filter over keys.
+func New(keys [][]byte, cfg Config) (*Filter, error) {
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("phbf: empty key set")
+	}
+	if cfg.TotalBits == 0 {
+		return nil, fmt.Errorf("phbf: zero bit budget")
+	}
+	cfg = cfg.withDefaults(len(keys))
+
+	f := &Filter{
+		bits:   bitset.New(cfg.TotalBits),
+		k:      cfg.K,
+		groups: cfg.Groups,
+		seeds:  make([]uint64, cfg.Groups),
+	}
+
+	// Partition keys by group.
+	grouped := make([][][]byte, cfg.Groups)
+	for _, key := range keys {
+		g := f.group(key)
+		grouped[g] = append(grouped[g], key)
+	}
+
+	// Greedy per-group seed selection: fewest newly set bits wins.
+	var posBuf []uint64
+	for g, members := range grouped {
+		if len(members) == 0 {
+			continue
+		}
+		bestSeed := uint64(0)
+		bestNew := -1
+		for c := 0; c < cfg.Candidates; c++ {
+			seed := hashes.Mix64(uint64(g)<<32 | uint64(c) + 0x1234)
+			newBits := 0
+			seen := map[uint64]bool{}
+			for _, key := range members {
+				posBuf = f.positions(key, seed, posBuf[:0])
+				for _, p := range posBuf {
+					if !f.bits.Test(p) && !seen[p] {
+						seen[p] = true
+						newBits++
+					}
+				}
+			}
+			if bestNew < 0 || newBits < bestNew {
+				bestNew, bestSeed = newBits, seed
+			}
+		}
+		f.seeds[g] = bestSeed
+		for _, key := range members {
+			posBuf = f.positions(key, bestSeed, posBuf[:0])
+			for _, p := range posBuf {
+				f.bits.Set(p)
+			}
+		}
+	}
+	return f, nil
+}
+
+// group maps a key to its partition.
+func (f *Filter) group(key []byte) int {
+	return int(hashes.XXH64Seed(key, 0x9e3779b9) % uint64(f.groups))
+}
+
+// positions derives the k bit positions of key under a group seed.
+func (f *Filter) positions(key []byte, seed uint64, dst []uint64) []uint64 {
+	h1, h2 := hashes.Split128(key, seed)
+	m := f.bits.Len()
+	for i := 0; i < f.k; i++ {
+		dst = append(dst, hashes.Double(h1, h2, i)%m)
+	}
+	return dst
+}
+
+// Contains reports whether key may be a member.
+func (f *Filter) Contains(key []byte) bool {
+	seed := f.seeds[f.group(key)]
+	var buf [32]uint64
+	for _, p := range f.positions(key, seed, buf[:0]) {
+		if !f.bits.Test(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Name identifies the filter in experiment output.
+func (f *Filter) Name() string { return "PHBF" }
+
+// SizeBits returns bit array plus per-group seed metadata.
+func (f *Filter) SizeBits() uint64 {
+	return f.bits.SizeBytes()*8 + uint64(len(f.seeds))*64
+}
+
+// FillRatio returns the fraction of set bits (the quantity the greedy
+// minimizes).
+func (f *Filter) FillRatio() float64 { return f.bits.FillRatio() }
+
+// K returns the per-key hash count.
+func (f *Filter) K() int { return f.k }

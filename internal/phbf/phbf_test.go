@@ -1,0 +1,146 @@
+package phbf
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bloom"
+)
+
+func genKeys(n int, tag string) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("%s/%d", tag, i))
+	}
+	return out
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(nil, Config{TotalBits: 1024}); err == nil {
+		t.Error("empty keys accepted")
+	}
+	if _, err := New(genKeys(10, "k"), Config{}); err == nil {
+		t.Error("zero budget accepted")
+	}
+}
+
+func TestNoFalseNegatives(t *testing.T) {
+	keys := genKeys(10000, "member")
+	f, err := New(keys, Config{TotalBits: 10000 * 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if !f.Contains(k) {
+			t.Fatalf("false negative for %q", k)
+		}
+	}
+}
+
+func TestFewerOnesThanRandomSeeds(t *testing.T) {
+	// The whole point of partitioned hashing: the greedy seed choice sets
+	// fewer bits than a single fixed seed, which lowers FPR.
+	keys := genKeys(20000, "member")
+	greedy, err := New(keys, Config{TotalBits: 20000 * 8, Candidates: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blind, err := New(keys, Config{TotalBits: 20000 * 8, Candidates: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greedy.FillRatio() >= blind.FillRatio() {
+		t.Errorf("greedy fill %.4f not below single-candidate fill %.4f",
+			greedy.FillRatio(), blind.FillRatio())
+	}
+}
+
+func TestBeatsOrMatchesBloomFPR(t *testing.T) {
+	keys := genKeys(20000, "member")
+	f, err := New(keys, Config{TotalBits: 20000 * 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := bloom.NewWithKeys(keys, 10, bloom.StrategySplit128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, fpBF := 0, 0
+	const probes = 50000
+	for i := 0; i < probes; i++ {
+		q := []byte(fmt.Sprintf("out/%d", i))
+		if f.Contains(q) {
+			fp++
+		}
+		if bf.Contains(q) {
+			fpBF++
+		}
+	}
+	// PHBF should be at least competitive (allow 30% slack for noise).
+	if float64(fp) > float64(fpBF)*1.3+5 {
+		t.Errorf("PHBF FPs %d vs Bloom %d; partitioned hashing should not lose", fp, fpBF)
+	}
+	t.Logf("PHBF FPR %.5f vs BF %.5f", float64(fp)/probes, float64(fpBF)/probes)
+}
+
+func TestAccessors(t *testing.T) {
+	f, err := New(genKeys(1000, "k"), Config{TotalBits: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != "PHBF" {
+		t.Errorf("Name = %q", f.Name())
+	}
+	if f.SizeBits() <= 10000 {
+		t.Error("SizeBits must include seed metadata")
+	}
+	if f.K() < 1 {
+		t.Error("K < 1")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	keys := genKeys(2000, "d")
+	a, _ := New(keys, Config{TotalBits: 2000 * 10})
+	b, _ := New(keys, Config{TotalBits: 2000 * 10})
+	for i := 0; i < 3000; i++ {
+		q := []byte(fmt.Sprintf("probe/%d", i))
+		if a.Contains(q) != b.Contains(q) {
+			t.Fatal("construction not deterministic")
+		}
+	}
+}
+
+func TestQuickZeroFNR(t *testing.T) {
+	f := func(raw [][]byte) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		fl, err := New(raw, Config{TotalBits: 1 << 14})
+		if err != nil {
+			return false
+		}
+		for _, k := range raw {
+			if !fl.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	keys := genKeys(50000, "b")
+	f, err := New(keys, Config{TotalBits: 50000 * 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Contains(keys[i%len(keys)])
+	}
+}

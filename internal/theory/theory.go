@@ -1,0 +1,106 @@
+// Package theory implements the closed-form expressions of §IV: the
+// probability bound of Theorem 4.1, the HashExpressor insertion bound of
+// Eq. 11, the optimized-key expectation of Theorem 4.2 (Eq. 12), and the
+// F*bf upper bound of Eq. 19 plotted in Fig. 8.
+//
+// The paper defers the derivation of P'c (the probability that a positive
+// key admits a valid adjustment) to an appendix that is not part of the
+// published text, so PcEstimate derives a compatible estimate from first
+// principles; its construction is documented on the function.
+package theory
+
+import "math"
+
+// BloomFPR is the standard Bloom false-positive estimate (1 - e^{-k/b})^k
+// for bits-per-key b and k hash functions (§II).
+func BloomFPR(b float64, k int) float64 {
+	if b <= 0 {
+		return 1
+	}
+	return math.Pow(1-math.Exp(-float64(k)/b), float64(k))
+}
+
+// PXiLower is Theorem 4.1: a lower bound on the expected probability that
+// a unit mapped by a collision key belongs to ξck (is single-mapped),
+// E(Pξ) > (k/b) / (e^{k/b} - 1).
+func PXiLower(k int, b float64) float64 {
+	if b <= 0 || k <= 0 {
+		return 0
+	}
+	x := float64(k) / b
+	return x / (math.Exp(x) - 1)
+}
+
+// PsLower is Eq. 11: a lower bound on the probability that the (t+1)-th
+// selection can be inserted into a HashExpressor with ω cells,
+// Ps(t) > (1 - (kt + k)/ω)^k.
+func PsLower(t int, k int, omega uint64) float64 {
+	if omega == 0 {
+		return 0
+	}
+	frac := float64(k*t+k) / float64(omega)
+	if frac >= 1 {
+		return 0
+	}
+	return math.Pow(1-frac, float64(k))
+}
+
+// ExpectedOptimized is Theorem 4.2 (Eq. 12): a lower bound on the expected
+// number of collision keys optimized given queue size T, adjustment
+// probability pc, hash count k and HashExpressor size ω:
+//
+//	E(t) > T·pc·(ω - k²) / (ω + T·pc·k²).
+func ExpectedOptimized(T int, pc float64, k int, omega uint64) float64 {
+	if T <= 0 || pc <= 0 || omega == 0 {
+		return 0
+	}
+	k2 := float64(k * k)
+	w := float64(omega)
+	v := float64(T) * pc * (w - k2) / (w + float64(T)*pc*k2)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// FStarUpper is Eq. 19: the upper bound on the expected optimized FPR,
+//
+//	E(F*bf) < Fbf - T·P'c·(ω - k²) / (|O|·(ω + T·P'c·k²)).
+func FStarUpper(fbf float64, T int, pc float64, k int, omega uint64, numNegatives int) float64 {
+	if numNegatives == 0 {
+		return fbf
+	}
+	gain := ExpectedOptimized(T, pc, k, omega) / float64(numNegatives)
+	v := fbf - gain
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// PcEstimate derives P'c, the probability that the positive key found
+// through a single-mapped unit admits at least one valid replacement hash.
+//
+// Derivation (documented because the paper's appendix is unavailable):
+// a replacement candidate hc succeeds when either (a) es's bit under hc is
+// already set — probability ρ, the Bloom fill ratio ≈ 1 - e^{-k/b} — or
+// (b) the bit is clear and no optimized key conflicts there. With at most
+// |O| keys in Γ spread over m bits, a bucket holds λ = k·|O|/m keys in
+// expectation, each of which re-breaks with probability ρ^(k-1) (its
+// remaining k-1 bits all set), so a clear bit is conflict-free with
+// probability ≈ e^{-λ·ρ^(k-1)}. With |Hc| independent candidates:
+//
+//	P'c ≈ 1 - (1 - ρ - (1-ρ)·e^{-λ·ρ^(k-1)})^{|Hc|}.
+func PcEstimate(k int, b float64, numNegatives int, mBits uint64, numCandidates int) float64 {
+	if numCandidates <= 0 || mBits == 0 {
+		return 0
+	}
+	rho := 1 - math.Exp(-float64(k)/b)
+	lambda := float64(k*numNegatives) / float64(mBits)
+	clearOK := math.Exp(-lambda * math.Pow(rho, float64(k-1)))
+	perCandidateFail := 1 - rho - (1-rho)*clearOK
+	if perCandidateFail < 0 {
+		perCandidateFail = 0
+	}
+	return 1 - math.Pow(perCandidateFail, float64(numCandidates))
+}

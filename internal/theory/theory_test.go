@@ -1,0 +1,129 @@
+package theory
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBloomFPR(t *testing.T) {
+	// Optimal point b=10, k=7 ≈ 0.6185^10 ≈ 0.82%.
+	got := BloomFPR(10, 7)
+	if math.Abs(got-0.0082) > 0.001 {
+		t.Errorf("BloomFPR(10,7) = %v, want ≈0.0082", got)
+	}
+	if BloomFPR(0, 3) != 1 {
+		t.Error("b=0 should give 1")
+	}
+	// Monotone in b.
+	if BloomFPR(4, 3) < BloomFPR(8, 3) {
+		t.Error("FPR should fall as b grows")
+	}
+}
+
+func TestPXiLower(t *testing.T) {
+	// x/(e^x - 1) at x = k/b = 0.3: 0.3/(1.3499-1) ≈ 0.8575.
+	got := PXiLower(3, 10)
+	if math.Abs(got-0.8575) > 0.001 {
+		t.Errorf("PXiLower(3,10) = %v, want ≈0.8575", got)
+	}
+	// Bound is in (0,1) and decreasing in k/b.
+	if PXiLower(10, 10) >= PXiLower(2, 10) {
+		t.Error("PXi must decrease as k/b grows")
+	}
+	if PXiLower(0, 10) != 0 || PXiLower(3, 0) != 0 {
+		t.Error("degenerate inputs must give 0")
+	}
+	// Theorem's own consequence used in §IV-B: k·E(Pξ) > 1.164 for k >= 2.
+	if v := 2 * PXiLower(2, 10); v <= 1.164 {
+		t.Errorf("k·Pξ = %v, paper claims > 1.164 for k=2, b=10", v)
+	}
+}
+
+func TestPsLower(t *testing.T) {
+	if PsLower(0, 3, 1000) <= PsLower(100, 3, 1000) {
+		t.Error("Ps must fall as the table fills")
+	}
+	if PsLower(1000, 3, 100) != 0 {
+		t.Error("overfull table must give 0")
+	}
+	if PsLower(0, 3, 0) != 0 {
+		t.Error("ω=0 must give 0")
+	}
+	// Exact value: t=10, k=3, ω=1000 → (1 - 33/1000)^3.
+	want := math.Pow(1-0.033, 3)
+	if got := PsLower(10, 3, 1000); math.Abs(got-want) > 1e-12 {
+		t.Errorf("PsLower = %v, want %v", got, want)
+	}
+}
+
+func TestExpectedOptimized(t *testing.T) {
+	// With pc=1 and a huge table, nearly all of T is optimized.
+	got := ExpectedOptimized(100, 1, 3, 1<<20)
+	if got < 90 || got > 100 {
+		t.Errorf("E(t) = %v, want ≈100 with huge table", got)
+	}
+	// Shrinks with the table.
+	if ExpectedOptimized(100, 1, 3, 64) >= got {
+		t.Error("E(t) must shrink with ω")
+	}
+	// Degenerate inputs.
+	if ExpectedOptimized(0, 1, 3, 100) != 0 || ExpectedOptimized(10, 0, 3, 100) != 0 {
+		t.Error("degenerate inputs must give 0")
+	}
+	// Never exceeds T.
+	for _, T := range []int{1, 10, 1000} {
+		if v := ExpectedOptimized(T, 1, 3, 4096); v > float64(T) {
+			t.Errorf("E(t) = %v exceeds T = %d", v, T)
+		}
+	}
+}
+
+func TestFStarUpper(t *testing.T) {
+	fbf := 0.02
+	up := FStarUpper(fbf, 500, 0.9, 3, 8192, 10000)
+	if up >= fbf {
+		t.Errorf("bound %v must improve on Fbf %v with nonzero optimization", up, fbf)
+	}
+	if up < 0 {
+		t.Error("bound clamped below zero")
+	}
+	if FStarUpper(fbf, 0, 0.9, 3, 8192, 10000) != fbf {
+		t.Error("T=0 must leave Fbf unchanged")
+	}
+	if FStarUpper(fbf, 500, 0.9, 3, 8192, 0) != fbf {
+		t.Error("|O|=0 must leave Fbf unchanged")
+	}
+}
+
+func TestPcEstimate(t *testing.T) {
+	// More candidates → higher probability.
+	lo := PcEstimate(3, 10, 10000, 1<<20, 2)
+	hi := PcEstimate(3, 10, 10000, 1<<20, 12)
+	if hi <= lo {
+		t.Errorf("PcEstimate must grow with candidates: %v vs %v", lo, hi)
+	}
+	if hi <= 0 || hi > 1 {
+		t.Errorf("PcEstimate out of (0,1]: %v", hi)
+	}
+	if PcEstimate(3, 10, 100, 1<<20, 0) != 0 {
+		t.Error("no candidates must give 0")
+	}
+}
+
+func TestBoundChainConsistency(t *testing.T) {
+	// The full Fig. 8 pipeline: for reasonable parameters the predicted
+	// F*bf bound sits between 0 and the unoptimized FPR.
+	for _, k := range []int{2, 4, 6, 8, 10} {
+		b := 10.0
+		fbf := BloomFPR(b, k)
+		n := 100000
+		m := uint64(float64(n) * b)
+		omega := m / 4 / 4 // Δ=0.25 budget at 4-bit cells
+		T := int(fbf * float64(n))
+		pc := PcEstimate(k, b, n, m, 19)
+		up := FStarUpper(fbf, T, pc, k, omega, n)
+		if up < 0 || up > fbf {
+			t.Errorf("k=%d: bound %v outside [0, %v]", k, up, fbf)
+		}
+	}
+}

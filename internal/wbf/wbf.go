@@ -1,0 +1,210 @@
+// Package wbf implements the Weighted Bloom filter of Bruck, Gao & Jiang
+// (ISIT 2006), the cost-aware baseline of the paper's skewed-cost
+// experiments (Fig. 11).
+//
+// WBF assigns each key an individual number of hash functions derived from
+// its query cost: costly keys get more hash positions, which lowers their
+// individual false-positive probability at the expense of cheap keys. The
+// catch the paper highlights (§II "Cost-based") is that the *query* also
+// needs the key's hash count, so WBF must carry a cost cache at query
+// time: we cache the hash counts of the highest-cost keys in a map, fall
+// back to the base k for unknown keys, and charge the cache against the
+// construction memory the same way the paper does.
+package wbf
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/hashes"
+)
+
+// WeightedKey pairs a key with its cost (the same shape as habf's; kept
+// local so the substrate has no dependency on the core package).
+type WeightedKey struct {
+	Key  []byte
+	Cost float64
+}
+
+// Filter is a Weighted Bloom filter.
+type Filter struct {
+	bits    *bitset.Bits
+	baseK   int
+	minK    int
+	maxK    int
+	kCache  map[string]uint8 // per-key hash count for cached (costly) keys
+	avgCost float64
+}
+
+// Config tunes WBF construction.
+type Config struct {
+	// TotalBits is the bit-array budget (the cost cache is accounted
+	// separately, as in the paper's memory figures).
+	TotalBits uint64
+	// BaseK is the hash count for average-cost and unknown keys.
+	// Default ln2 · bits-per-key.
+	BaseK int
+	// CacheFraction is the fraction of (cost-descending) universe keys
+	// whose hash count is cached for query time. Default 0.05.
+	CacheFraction float64
+}
+
+// New builds a WBF over the positive keys, using the costs of the known
+// negative keys to allocate per-key hash counts over the whole universe.
+//
+// The allocation follows Bruck et al.'s log-proportional rule: a key with
+// cost c gets k(c) = clamp(BaseK + round(log2(c / meanCost)), minK, maxK)
+// hash positions. Positive keys are inserted with k(cost of matching
+// universe key) — for the membership-testing workload of the paper,
+// positives take BaseK and negatives modulate their own query-side count.
+func New(positives [][]byte, negatives []WeightedKey, cfg Config) (*Filter, error) {
+	if len(positives) == 0 {
+		return nil, fmt.Errorf("wbf: empty positive key set")
+	}
+	if cfg.TotalBits == 0 {
+		return nil, fmt.Errorf("wbf: zero bit budget")
+	}
+	bitsPerKey := float64(cfg.TotalBits) / float64(len(positives))
+	if cfg.BaseK == 0 {
+		cfg.BaseK = int(math.Round(math.Ln2 * bitsPerKey))
+		if cfg.BaseK < 1 {
+			cfg.BaseK = 1
+		}
+	}
+	if cfg.CacheFraction == 0 {
+		cfg.CacheFraction = 0.05
+	}
+
+	f := &Filter{
+		bits:   bitset.New(cfg.TotalBits),
+		baseK:  cfg.BaseK,
+		minK:   max(1, cfg.BaseK-2),
+		maxK:   cfg.BaseK + 4,
+		kCache: make(map[string]uint8),
+	}
+
+	var total float64
+	for _, n := range negatives {
+		total += n.Cost
+	}
+	if len(negatives) > 0 {
+		f.avgCost = total / float64(len(negatives))
+	} else {
+		f.avgCost = 1
+	}
+
+	// Cache hash counts for the costliest negatives: these are the keys
+	// whose misidentification the filter most wants to avoid, so they get
+	// elevated k at query time.
+	if len(negatives) > 0 && cfg.CacheFraction > 0 {
+		byCost := make([]int, len(negatives))
+		for i := range byCost {
+			byCost[i] = i
+		}
+		sort.SliceStable(byCost, func(a, b int) bool {
+			return negatives[byCost[a]].Cost > negatives[byCost[b]].Cost
+		})
+		limit := int(cfg.CacheFraction * float64(len(negatives)))
+		if limit < 1 {
+			limit = 1
+		}
+		for _, idx := range byCost[:min(limit, len(byCost))] {
+			n := negatives[idx]
+			f.kCache[string(n.Key)] = uint8(f.kFor(n.Cost))
+		}
+	}
+
+	for _, key := range positives {
+		f.add(key, f.baseK)
+	}
+	return f, nil
+}
+
+// kFor maps a cost to a hash count with the log-proportional rule.
+func (f *Filter) kFor(cost float64) int {
+	if cost <= 0 || f.avgCost <= 0 {
+		return f.baseK
+	}
+	k := f.baseK + int(math.Round(math.Log2(cost/f.avgCost)))
+	if k < f.minK {
+		k = f.minK
+	}
+	if k > f.maxK {
+		k = f.maxK
+	}
+	return k
+}
+
+// positions computes the first k bit positions of key via seeded double
+// hashing (WBF needs a k that varies per key, so per-function corpora do
+// not apply).
+func (f *Filter) positions(key []byte, k int, dst []uint64) []uint64 {
+	h1, h2 := hashes.Split128(key, 0x5bd1e995)
+	m := f.bits.Len()
+	for i := 0; i < k; i++ {
+		dst = append(dst, hashes.Double(h1, h2, i)%m)
+	}
+	return dst
+}
+
+func (f *Filter) add(key []byte, k int) {
+	var buf [40]uint64
+	for _, p := range f.positions(key, k, buf[:0]) {
+		f.bits.Set(p)
+	}
+}
+
+// Contains reports whether key may be a member, using the cached per-key
+// hash count when available. Positive keys are never in the negative-cost
+// cache, so they are always checked with exactly the BaseK positions they
+// were inserted with — zero false negatives. Cached costly negatives are
+// checked with an elevated count, which can only lower their individual
+// false-positive probability.
+func (f *Filter) Contains(key []byte) bool {
+	k := f.baseK
+	if ck, ok := f.kCache[string(key)]; ok {
+		k = int(ck)
+	}
+	var buf [40]uint64
+	for _, p := range f.positions(key, k, buf[:0]) {
+		if !f.bits.Test(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Name identifies the filter in experiment output.
+func (f *Filter) Name() string { return "WBF" }
+
+// SizeBits returns the bit-array footprint (excluding the cost cache,
+// reported separately by CacheBytes, matching the paper's accounting).
+func (f *Filter) SizeBits() uint64 { return f.bits.SizeBytes() * 8 }
+
+// CacheBytes estimates the query-time cost cache footprint.
+func (f *Filter) CacheBytes() uint64 {
+	var total uint64
+	for k := range f.kCache {
+		total += uint64(len(k)) + 1 + 16 // key bytes + count + map overhead
+	}
+	return total
+}
+
+// CacheSize returns the number of cached keys.
+func (f *Filter) CacheSize() int { return len(f.kCache) }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

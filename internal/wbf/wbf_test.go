@@ -1,0 +1,186 @@
+package wbf
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func genPos(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("member/%d", i))
+	}
+	return out
+}
+
+func genNeg(n int, cost func(int) float64) []WeightedKey {
+	out := make([]WeightedKey, n)
+	for i := range out {
+		out[i] = WeightedKey{Key: []byte(fmt.Sprintf("outsider/%d", i)), Cost: cost(i)}
+	}
+	return out
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(nil, nil, Config{TotalBits: 1000}); err == nil {
+		t.Error("empty positives accepted")
+	}
+	if _, err := New(genPos(10), nil, Config{}); err == nil {
+		t.Error("zero budget accepted")
+	}
+}
+
+func TestNoFalseNegatives(t *testing.T) {
+	pos := genPos(5000)
+	neg := genNeg(5000, func(i int) float64 { return float64(i%50 + 1) })
+	f, err := New(pos, neg, Config{TotalBits: 5000 * 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range pos {
+		if !f.Contains(k) {
+			t.Fatalf("false negative for %q", k)
+		}
+	}
+}
+
+func TestCostlyKeysFavored(t *testing.T) {
+	// The cached high-cost negatives must have a false-positive rate no
+	// worse than the uncached cheap ones.
+	pos := genPos(20000)
+	neg := genNeg(20000, func(i int) float64 {
+		if i < 1000 {
+			return 1000 // costly head
+		}
+		return 1
+	})
+	f, err := New(pos, neg, Config{TotalBits: 20000 * 8, CacheFraction: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpCostly, fpCheap := 0, 0
+	for i, n := range neg {
+		if f.Contains(n.Key) {
+			if i < 1000 {
+				fpCostly++
+			} else {
+				fpCheap++
+			}
+		}
+	}
+	rCostly := float64(fpCostly) / 1000
+	rCheap := float64(fpCheap) / 19000
+	if rCostly > rCheap+0.002 {
+		t.Errorf("costly keys FP %.5f worse than cheap keys %.5f", rCostly, rCheap)
+	}
+	t.Logf("costly FP %.5f, cheap FP %.5f, cache %d keys (%d bytes)",
+		rCostly, rCheap, f.CacheSize(), f.CacheBytes())
+}
+
+func TestKForClamping(t *testing.T) {
+	pos := genPos(1000)
+	neg := genNeg(1000, func(i int) float64 { return 1 })
+	f, err := New(pos, neg, Config{TotalBits: 1000 * 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := f.kFor(1e12); k != f.maxK {
+		t.Errorf("huge cost k = %d, want clamp at %d", k, f.maxK)
+	}
+	if k := f.kFor(1e-12); k != f.minK {
+		t.Errorf("tiny cost k = %d, want clamp at %d", k, f.minK)
+	}
+	if k := f.kFor(0); k != f.baseK {
+		t.Errorf("zero cost k = %d, want base %d", k, f.baseK)
+	}
+	if k := f.kFor(f.avgCost); k != f.baseK {
+		t.Errorf("average cost k = %d, want base %d", k, f.baseK)
+	}
+}
+
+func TestEmptyNegatives(t *testing.T) {
+	pos := genPos(100)
+	f, err := New(pos, nil, Config{TotalBits: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.CacheSize() != 0 {
+		t.Error("cache populated without negatives")
+	}
+	for _, k := range pos {
+		if !f.Contains(k) {
+			t.Fatal("false negative")
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	f, err := New(genPos(100), genNeg(100, func(int) float64 { return 2 }), Config{TotalBits: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != "WBF" {
+		t.Errorf("Name = %q", f.Name())
+	}
+	if f.SizeBits() < 4096 {
+		t.Error("SizeBits below budget")
+	}
+	if f.CacheBytes() == 0 || f.CacheSize() == 0 {
+		t.Error("cache empty despite negatives")
+	}
+}
+
+// Property: membership of inserted keys always holds, for arbitrary
+// disjoint sets and costs.
+func TestQuickZeroFNR(t *testing.T) {
+	f := func(rawPos [][]byte, costs []float64) bool {
+		seen := map[string]bool{}
+		var pos [][]byte
+		for _, k := range rawPos {
+			if !seen[string(k)] {
+				seen[string(k)] = true
+				pos = append(pos, k)
+			}
+		}
+		if len(pos) == 0 {
+			return true
+		}
+		var neg []WeightedKey
+		for i, c := range costs {
+			if c < 0 {
+				c = -c
+			}
+			key := []byte(fmt.Sprintf("qneg/%d", i))
+			if !seen[string(key)] {
+				neg = append(neg, WeightedKey{Key: key, Cost: c})
+			}
+		}
+		fl, err := New(pos, neg, Config{TotalBits: 1 << 14})
+		if err != nil {
+			return false
+		}
+		for _, k := range pos {
+			if !fl.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	pos := genPos(50000)
+	neg := genNeg(50000, func(i int) float64 { return float64(i%100 + 1) })
+	f, err := New(pos, neg, Config{TotalBits: 50000 * 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Contains(neg[i%len(neg)].Key)
+	}
+}

@@ -1,0 +1,194 @@
+package xorfilter
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func genKeys(n int, tag string) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("%s-%d", tag, i))
+	}
+	return keys
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 8); err == nil {
+		t.Error("empty key set accepted")
+	}
+	if _, err := New(genKeys(10, "k"), 0); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := New(genKeys(10, "k"), 33); err == nil {
+		t.Error("width 33 accepted")
+	}
+}
+
+func TestNoFalseNegatives(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 1000, 20000} {
+		keys := genKeys(n, "member")
+		f, err := New(keys, 8)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for _, k := range keys {
+			if !f.Contains(k) {
+				t.Fatalf("n=%d: false negative for %q", n, k)
+			}
+		}
+	}
+}
+
+func TestFPRMatchesWidth(t *testing.T) {
+	keys := genKeys(20000, "in")
+	for _, w := range []uint{4, 8, 12} {
+		f, err := New(keys, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp := 0
+		const probes = 100000
+		for i := 0; i < probes; i++ {
+			if f.Contains([]byte(fmt.Sprintf("out-%d", i))) {
+				fp++
+			}
+		}
+		got := float64(fp) / probes
+		want := f.TheoreticalFPR()
+		if got > want*2.5+0.002 {
+			t.Errorf("width %d: FPR %.5f, theory %.5f", w, got, want)
+		}
+	}
+}
+
+func TestFingerprintBits(t *testing.T) {
+	cases := []struct {
+		b    float64
+		n    int
+		want uint
+	}{
+		{10, 1000000, 8}, // 10/1.23 ≈ 8.13
+		{10, 100, 6},     // 10/(1.23+0.32) ≈ 6.45
+		{1, 1000, 1},     // floor < 1 clamps to 1
+		{64, 1000000, 32},
+		{10, 0, 1},
+	}
+	for _, c := range cases {
+		if got := FingerprintBits(c.b, c.n); got != c.want {
+			t.Errorf("FingerprintBits(%v, %d) = %d, want %d", c.b, c.n, got, c.want)
+		}
+	}
+}
+
+func TestNewWithBudgetSpace(t *testing.T) {
+	keys := genKeys(10000, "b")
+	bitsPerKey := 12.0
+	f, err := NewWithBudget(keys, bitsPerKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := bitsPerKey * float64(len(keys))
+	// Logical size = 1.23n slots × width; must not exceed the budget by
+	// more than the 64-bit word padding.
+	logical := float64(3*((uint64(32+123*len(keys)/100)+2)/3)) * float64(f.Width())
+	if logical > budget*1.05 {
+		t.Errorf("logical size %.0f bits exceeds budget %.0f", logical, budget)
+	}
+	if f.SizeBits() == 0 || f.Count() != 10000 || f.Name() != "Xor" {
+		t.Error("accessor values wrong")
+	}
+}
+
+func TestDuplicateKeysFail(t *testing.T) {
+	keys := [][]byte{[]byte("same"), []byte("same"), []byte("other")}
+	if _, err := New(keys, 8); err == nil {
+		t.Error("duplicate keys did not fail construction")
+	}
+}
+
+func TestDeterministicGivenKeys(t *testing.T) {
+	keys := genKeys(500, "det")
+	a, err := New(keys, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(keys, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		q := []byte(fmt.Sprintf("q-%d", i))
+		if a.Contains(q) != b.Contains(q) {
+			t.Fatal("two builds over identical keys disagree")
+		}
+	}
+}
+
+// Property: for arbitrary unique key sets, membership always holds.
+func TestQuickNoFalseNegatives(t *testing.T) {
+	f := func(raw [][]byte) bool {
+		seen := map[string]bool{}
+		var keys [][]byte
+		for _, k := range raw {
+			if !seen[string(k)] {
+				seen[string(k)] = true
+				keys = append(keys, k)
+			}
+		}
+		if len(keys) == 0 {
+			return true
+		}
+		fl, err := New(keys, 8)
+		if err != nil {
+			return false
+		}
+		for _, k := range keys {
+			if !fl.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSizeScalesWithWidth(t *testing.T) {
+	keys := genKeys(5000, "s")
+	s8, _ := New(keys, 8)
+	s16, _ := New(keys, 16)
+	ratio := float64(s16.SizeBits()) / float64(s8.SizeBits())
+	if math.Abs(ratio-2) > 0.1 {
+		t.Errorf("16-bit filter is %.2fx the 8-bit filter, want ~2x", ratio)
+	}
+}
+
+func BenchmarkConstruct(b *testing.B) {
+	keys := genKeys(100000, "bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(keys, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	keys := genKeys(100000, "bench")
+	f, err := New(keys, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	var hits int
+	for i := 0; i < b.N; i++ {
+		if f.Contains(keys[i%len(keys)]) {
+			hits++
+		}
+	}
+	_ = hits
+}
