@@ -14,6 +14,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	wl "repro/internal/workload"
 )
 
 // benchCfg keeps figure benchmarks in the hundreds-of-milliseconds range.
@@ -213,6 +214,97 @@ func BenchmarkQueryPHBF(b *testing.B) {
 	}
 	b.Run("negative", func(b *testing.B) { benchQuery(b, f, fx.neg) })
 	b.Run("positive", func(b *testing.B) { benchQuery(b, f, fx.pos) })
+}
+
+// --- Serving-layer benchmarks: sharding and batching ---
+
+// zipfProbes builds a deterministic zipf-skewed probe stream mixing
+// positives and known negatives, the shape of real serving traffic.
+func zipfProbes(b *testing.B, fx fixtures, n int) [][]byte {
+	b.Helper()
+	probes, err := wl.MixProbes(wl.Zipfian, 42, n, fx.pos, fx.neg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return probes
+}
+
+// BenchmarkShardedContainsBatch compares single-process query throughput
+// of per-key Contains against the sharded batch path on a zipfian
+// workload. ns/op is per key in every sub-benchmark.
+func BenchmarkShardedContainsBatch(b *testing.B) {
+	fx := loadFixtures(20000)
+	bits := uint64(10 * len(fx.pos))
+	single, err := habf.New(fx.pos, fx.wneg, bits)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sharded, err := habf.NewSharded(fx.pos, fx.wneg, bits, habf.WithShards(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	probes := zipfProbes(b, fx, 1<<16)
+	mask := len(probes) - 1
+
+	b.Run("single/perkey", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = single.Contains(probes[i&mask])
+		}
+	})
+	b.Run("single/batch256", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i += 256 {
+			lo := i & mask
+			_ = single.ContainsBatch(probes[lo : lo+256])
+		}
+	})
+	b.Run("sharded/perkey", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = sharded.Contains(probes[i&mask])
+		}
+	})
+	b.Run("sharded/batch256", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i += 256 {
+			lo := i & mask
+			_ = sharded.ContainsBatch(probes[lo : lo+256])
+		}
+	})
+	b.Run("sharded/batch256/parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				lo := (i * 256) & mask
+				_ = sharded.ContainsBatch(probes[lo : lo+256])
+				i++
+			}
+		})
+		b.ReportMetric(float64(b.N)*256/b.Elapsed().Seconds()/1e6, "Mkeys/s")
+	})
+}
+
+// BenchmarkShardedConstruct measures the parallel-build win at
+// construction time.
+func BenchmarkShardedConstruct(b *testing.B) {
+	fx := loadFixtures(20000)
+	bits := uint64(10 * len(fx.pos))
+	b.Run("single", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := habf.New(fx.pos, fx.wneg, bits); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sharded8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := habf.NewSharded(fx.pos, fx.wneg, bits, habf.WithShards(8)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkSerializeHABF measures MarshalBinary/UnmarshalHABF roundtrips.

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	habf "repro"
+	"repro/internal/dataset"
+	"repro/internal/workload"
+)
+
+// serveConfig drives the serving-layer throughput benchmark (-serve):
+// single-filter per-key queries vs sharded per-key vs sharded batches,
+// under a configurable key-access distribution, with optional concurrent
+// writers exercising the Add path (per-shard locks, no external locking).
+type serveConfig struct {
+	keys    int
+	shards  int
+	batch   int
+	workers int
+	ops     int
+	dist    string
+	writers int
+	seed    int64
+}
+
+func runServe(cfg serveConfig, w io.Writer) error {
+	dist, err := workload.Parse(cfg.dist)
+	if err != nil {
+		return err
+	}
+	if cfg.keys < 1 || cfg.workers < 1 || cfg.batch < 1 || cfg.ops < 1 {
+		return fmt.Errorf("serve: -keys, -workers, -batch and -ops must all be ≥ 1")
+	}
+	if cfg.writers < 0 {
+		return fmt.Errorf("serve: -writers must be ≥ 0")
+	}
+	data := dataset.YCSB(cfg.keys, cfg.keys, cfg.seed)
+	costs := dataset.ZipfCosts(cfg.keys, 1.1, cfg.seed)
+	negatives := make([]habf.WeightedKey, cfg.keys)
+	for i := range negatives {
+		negatives[i] = habf.WeightedKey{Key: data.Negatives[i], Cost: costs[i]}
+	}
+	bits := uint64(10 * cfg.keys)
+
+	start := time.Now()
+	single, err := habf.New(data.Positives, negatives, bits)
+	if err != nil {
+		return err
+	}
+	singleBuild := time.Since(start)
+	start = time.Now()
+	sharded, err := habf.NewSharded(data.Positives, negatives, bits, habf.WithShards(cfg.shards))
+	if err != nil {
+		return err
+	}
+	shardedBuild := time.Since(start)
+
+	fmt.Fprintf(w, "serve: %d keys, %s access, %d shards, batch %d, %d query workers, %d writers, GOMAXPROCS %d\n",
+		cfg.keys, dist, sharded.NumShards(), cfg.batch, cfg.workers, cfg.writers, runtime.GOMAXPROCS(0))
+	fmt.Fprintf(w, "build: single %v, sharded %v (parallel shard construction)\n\n",
+		singleBuild.Round(time.Millisecond), shardedBuild.Round(time.Millisecond))
+
+	// probeStream mixes positives and negatives under the distribution.
+	probeStream := func(seed int64) ([][]byte, error) {
+		return workload.MixProbes(dist, seed, 1<<16, data.Positives, data.Negatives)
+	}
+
+	// measure runs fn on cfg.workers goroutines (each with its own probe
+	// stream) until cfg.ops keys have been processed in total, optionally
+	// with background writers streaming Adds into the sharded set.
+	measure := func(name string, withWriters bool, fn func(probes [][]byte, n int)) error {
+		perWorker := cfg.ops / cfg.workers
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		if withWriters {
+			for wr := 0; wr < cfg.writers; wr++ {
+				wg.Add(1)
+				go func(wr int) {
+					defer wg.Done()
+					i := 0
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+							sharded.Add([]byte(fmt.Sprintf("fresh-%d-%09d", wr, i)))
+							i++
+						}
+					}
+				}(wr)
+			}
+		}
+		streams := make([][][]byte, cfg.workers)
+		for i := range streams {
+			var err error
+			if streams[i], err = probeStream(cfg.seed + int64(i)); err != nil {
+				return err
+			}
+		}
+		begin := time.Now()
+		var qwg sync.WaitGroup
+		for i := 0; i < cfg.workers; i++ {
+			qwg.Add(1)
+			go func(i int) {
+				defer qwg.Done()
+				fn(streams[i], perWorker)
+			}(i)
+		}
+		qwg.Wait()
+		elapsed := time.Since(begin)
+		close(stop)
+		wg.Wait()
+		mqps := float64(perWorker*cfg.workers) / elapsed.Seconds() / 1e6
+		fmt.Fprintf(w, "%-28s %10.2f Mqps   (%v)\n", name, mqps, elapsed.Round(time.Millisecond))
+		return nil
+	}
+
+	if err := measure("single/perkey", false, func(probes [][]byte, n int) {
+		mask := len(probes) - 1
+		for i := 0; i < n; i++ {
+			_ = single.Contains(probes[i&mask])
+		}
+	}); err != nil {
+		return err
+	}
+	if err := measure("sharded/perkey", false, func(probes [][]byte, n int) {
+		mask := len(probes) - 1
+		for i := 0; i < n; i++ {
+			_ = sharded.Contains(probes[i&mask])
+		}
+	}); err != nil {
+		return err
+	}
+	batchFn := func(probes [][]byte, n int) {
+		mask := len(probes) - 1
+		for i := 0; i < n; i += cfg.batch {
+			lo := i & mask
+			hi := lo + cfg.batch
+			if hi > len(probes) {
+				hi = len(probes)
+			}
+			_ = sharded.ContainsBatch(probes[lo:hi])
+		}
+	}
+	if err := measure("sharded/batch", false, batchFn); err != nil {
+		return err
+	}
+	if cfg.writers > 0 {
+		if err := measure("sharded/batch+writers", true, batchFn); err != nil {
+			return err
+		}
+	}
+	sharded.WaitRebuilds()
+	st := sharded.Stats()
+	fmt.Fprintf(w, "\nsharded stats: %d keys, %d adds pending rebuild, %d background rebuilds, %.1f KiB\n",
+		st.Keys, st.Added, st.Rebuilds, float64(st.SizeBits)/8/1024)
+	return nil
+}

@@ -30,6 +30,32 @@
 // NewLBF/NewSLBF/NewAdaBF constructors for the paper's baselines. All
 // filters implement the Filter interface, so the measurement helpers
 // (WeightedFPR, FPR, FNR) apply uniformly.
+//
+// # Serving at scale
+//
+// A single *HABF is immutable for readers but requires external
+// synchronization between Add and queries, which caps a filter service
+// long before the hardware does. NewSharded builds the serving-layer
+// form: the key space is partitioned across N independent shards by
+// fingerprint-prefix routing, shards build in parallel, Add locks only
+// the owning shard, and a drifted shard is re-optimized in the background
+// and atomically swapped while the rest keep serving — no external
+// locking anywhere.
+//
+//	s, err := habf.NewSharded(positives, negatives, 1<<20,
+//		habf.WithShards(16))
+//	s.Add([]byte("new-member"))        // concurrent with queries
+//	hits := s.ContainsBatch(requests)  // one result per request
+//
+// ContainsBatch — available on both *HABF and *Sharded — groups a batch
+// of keys by shard, takes each shard's lock once, and reuses one scratch
+// buffer per group; under skewed (zipfian) request streams it is the
+// fastest query path. Rebuild-on-drift guidance: per-key Add inserts
+// under the shared initial hash selection without re-running the TPJO
+// optimization, so the weighted FPR degrades gradually; a Sharded set
+// rebuilds affected shards automatically once their post-construction
+// Adds exceed WithRebuildThreshold (default 2% of the keys present at the
+// last build).
 package habf
 
 import (
@@ -145,6 +171,12 @@ func NewFast(positives [][]byte, negatives []WeightedKey, totalBits uint64, opts
 // Contains reports whether key may be a member (two-round query, zero
 // false negatives).
 func (f *HABF) Contains(key []byte) bool { return f.inner.Contains(key) }
+
+// ContainsBatch evaluates every key in one pass and returns one result
+// per key, in order. Answers are identical to per-key Contains; the batch
+// form hoists per-call setup (Bloom length, HashExpressor scratch buffer)
+// out of the loop.
+func (f *HABF) ContainsBatch(keys [][]byte) []bool { return f.inner.ContainsBatch(keys) }
 
 // Name returns "HABF" or "f-HABF".
 func (f *HABF) Name() string { return f.inner.Name() }

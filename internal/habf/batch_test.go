@@ -1,0 +1,82 @@
+package habf
+
+import (
+	"fmt"
+	"testing"
+)
+
+func batchFixture(t testing.TB, n int, fast bool) (*Filter, [][]byte, [][]byte) {
+	t.Helper()
+	pos := make([][]byte, n)
+	neg := make([]WeightedKey, n)
+	negKeys := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		pos[i] = []byte(fmt.Sprintf("pos-%06d", i))
+		negKeys[i] = []byte(fmt.Sprintf("neg-%06d", i))
+		neg[i] = WeightedKey{Key: negKeys[i], Cost: float64(n - i)}
+	}
+	f, err := New(pos, neg, Params{TotalBits: uint64(12 * n), Fast: fast})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, pos, negKeys
+}
+
+// TestContainsBatchMatchesContains pins the batch path to the per-key
+// path bit for bit: same keys, same answers, in both hashing regimes.
+func TestContainsBatchMatchesContains(t *testing.T) {
+	for _, fast := range []bool{false, true} {
+		t.Run(fmt.Sprintf("fast=%v", fast), func(t *testing.T) {
+			f, pos, neg := batchFixture(t, 2000, fast)
+			probe := append(append([][]byte{}, pos...), neg...)
+			got := f.ContainsBatch(probe)
+			if len(got) != len(probe) {
+				t.Fatalf("ContainsBatch returned %d results for %d keys", len(got), len(probe))
+			}
+			for i, key := range probe {
+				if want := f.Contains(key); got[i] != want {
+					t.Fatalf("key %q: batch=%v per-key=%v", key, got[i], want)
+				}
+			}
+			for i := range pos {
+				if !got[i] {
+					t.Fatalf("false negative for positive key %q in batch", pos[i])
+				}
+			}
+		})
+	}
+}
+
+func TestContainsBatchIntoLeavesTailUntouched(t *testing.T) {
+	f, pos, _ := batchFixture(t, 200, true)
+	dst := make([]bool, len(pos)+3)
+	dst[len(pos)] = true // sentinel past the batch
+	f.ContainsBatchInto(dst, pos)
+	if !dst[len(pos)] {
+		t.Fatal("ContainsBatchInto wrote past len(keys)")
+	}
+	for i := range pos {
+		if !dst[i] {
+			t.Fatalf("false negative for positive key %d", i)
+		}
+	}
+}
+
+func TestContainsBatchEmpty(t *testing.T) {
+	f, _, _ := batchFixture(t, 50, false)
+	if out := f.ContainsBatch(nil); len(out) != 0 {
+		t.Fatalf("ContainsBatch(nil) = %v", out)
+	}
+}
+
+func TestBuildParamsRoundTrip(t *testing.T) {
+	f, _, _ := batchFixture(t, 100, false)
+	p := f.BuildParams()
+	if p.K != 3 || p.CellBits != 4 || p.TotalBits != 1200 {
+		t.Fatalf("BuildParams() = %+v, want defaulted construction params", p)
+	}
+	// The returned params must be directly usable for a rebuild.
+	if err := p.validate(); err != nil {
+		t.Fatalf("BuildParams() not valid for rebuild: %v", err)
+	}
+}

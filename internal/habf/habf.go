@@ -11,16 +11,18 @@ import (
 // number of concurrent readers; Add (the only mutator) must be externally
 // synchronized against them.
 type Filter struct {
-	bf     *readonlyBits
-	bfBits *bitset.Bits // write path: serialization and Add
-	he     *hashExpressor
-	fam    *family
-	h0     []uint8
-	k      int
-	fast   bool
-	seed   int64
-	added  uint64
-	stats  Stats
+	bf       *readonlyBits
+	bfBits   *bitset.Bits // write path: serialization and Add
+	bloomLen uint64       // cached bf.Len(), hot on the query path
+	he       *hashExpressor
+	fam      *family
+	h0       []uint8
+	k        int
+	fast     bool
+	seed     int64
+	added    uint64
+	stats    Stats
+	params   Params // defaulted construction params, kept for rebuilds
 }
 
 // readonlyBits narrows *bitset.Bits to the read path so the query-time
@@ -143,15 +145,17 @@ func New(positives [][]byte, negatives []WeightedKey, p Params) (*Filter, error)
 	b.stats.FPRAfter, b.stats.WeightedFPRAfter = b.measureFPR()
 
 	return &Filter{
-		bf:     &readonlyBits{bits: b.bf},
-		bfBits: b.bf,
-		he:     b.he,
-		fam:    b.fam,
-		h0:     b.h0,
-		k:      p.K,
-		fast:   p.Fast,
-		seed:   p.Seed,
-		stats:  b.stats,
+		bf:       &readonlyBits{bits: b.bf},
+		bfBits:   b.bf,
+		bloomLen: b.bf.Len(),
+		he:       b.he,
+		fam:      b.fam,
+		h0:       b.h0,
+		k:        p.K,
+		fast:     p.Fast,
+		seed:     p.Seed,
+		stats:    b.stats,
+		params:   p,
 	}, nil
 }
 
@@ -198,8 +202,15 @@ func (b *builder) measureFPR() (plain, weighted float64) {
 // round one; adjusted positives are recovered from HashExpressor and pass
 // round two.
 func (f *Filter) Contains(key []byte) bool {
+	var buf [32]uint8
+	return f.contains(key, buf[:0])
+}
+
+// contains is the scratch-reusing core of Contains: scratch backs the
+// HashExpressor selection lookup of round two.
+func (f *Filter) contains(key []byte, scratch []uint8) bool {
+	m := f.bloomLen
 	ks := f.fam.prepare(key)
-	m := f.bf.Len()
 	pass := true
 	for _, idx := range f.h0 {
 		if !f.bf.Test(f.fam.pos(ks, idx, m)) {
@@ -210,8 +221,7 @@ func (f *Filter) Contains(key []byte) bool {
 	if pass {
 		return true
 	}
-	var buf [32]uint8
-	phi := f.he.query(f.fam, ks, buf[:0])
+	phi := f.he.query(f.fam, ks, scratch)
 	if phi == nil {
 		// HashExpressor answered "no stored selection": φ(e) = H0, and the
 		// H0 check already failed.
@@ -223,6 +233,34 @@ func (f *Filter) Contains(key []byte) bool {
 		}
 	}
 	return true
+}
+
+// ContainsBatch evaluates every key in one pass and returns a result per
+// key, in order. It answers exactly like per-key Contains but hoists the
+// per-call setup (Bloom length, HashExpressor scratch buffer) out of the
+// loop, which is what serving layers batching queries want.
+func (f *Filter) ContainsBatch(keys [][]byte) []bool {
+	out := make([]bool, len(keys))
+	f.ContainsBatchInto(out, keys)
+	return out
+}
+
+// ContainsBatchInto writes Contains(keys[i]) into dst[i], reusing one
+// scratch buffer across the whole batch. dst must have at least len(keys)
+// elements; extra elements are left untouched.
+func (f *Filter) ContainsBatchInto(dst []bool, keys [][]byte) {
+	var buf [32]uint8
+	for i, key := range keys {
+		dst[i] = f.contains(key, buf[:0])
+	}
+}
+
+// ContainsScratch is Contains with a caller-owned scratch buffer for the
+// round-two selection lookup, for batch callers (the shard package) that
+// evaluate non-contiguous key subsets and want zero per-key allocation.
+// scratch must have capacity ≥ K and is not retained.
+func (f *Filter) ContainsScratch(key []byte, scratch []uint8) bool {
+	return f.contains(key, scratch)
 }
 
 // Name identifies the filter in experiment output.
@@ -250,3 +288,10 @@ func (f *Filter) FillRatio() float64 { return f.bf.FillRatio() }
 
 // Stats returns construction statistics.
 func (f *Filter) Stats() Stats { return f.stats }
+
+// BuildParams returns the fully defaulted parameters this filter was
+// constructed with — the rebuild hook for serving layers that rotate
+// filters once post-construction Adds accumulate. Filters decoded by
+// UnmarshalFilter report only the hashing-relevant fields (K, CellBits,
+// Seed, Fast); the space split of the original build is not serialized.
+func (f *Filter) BuildParams() Params { return f.params }

@@ -140,13 +140,15 @@ func UnmarshalFilter(data []byte) (*Filter, error) {
 		k:     k,
 	}
 	return &Filter{
-		bf:     &readonlyBits{bits: &bfBits},
-		bfBits: &bfBits,
-		he:     he,
-		fam:    fam,
-		h0:     h0,
-		k:      k,
-		fast:   fast,
-		seed:   seed,
+		bf:       &readonlyBits{bits: &bfBits},
+		bfBits:   &bfBits,
+		bloomLen: bfBits.Len(),
+		he:       he,
+		fam:      fam,
+		h0:       h0,
+		k:        k,
+		fast:     fast,
+		seed:     seed,
+		params:   p,
 	}, nil
 }

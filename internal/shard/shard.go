@@ -1,0 +1,396 @@
+// Package shard partitions one logical HABF across N independent shards
+// so a filter service can use every core: shards build in parallel at
+// construction, Add takes a per-shard lock instead of a global one, and a
+// shard whose accuracy has drifted (too many post-construction Adds) is
+// rebuilt in the background and atomically swapped in while the other
+// shards keep serving.
+//
+// Keys are routed by fingerprint prefix: the top bits of an independent
+// 64-bit key hash select the shard, so the per-shard positive and
+// negative sets are disjoint and every query touches exactly one shard.
+// The routing hash is seeded independently of the per-shard hash
+// families, keeping shard membership uncorrelated with in-shard bit
+// positions.
+//
+// Unlike a bare habf.Filter — whose Add must be externally synchronized
+// against readers — a Set is safe for fully concurrent use: any number of
+// goroutines may call Contains/ContainsBatch/Add with no external
+// locking.
+package shard
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/habf"
+	"repro/internal/hashes"
+)
+
+// Config sizes a sharded filter.
+type Config struct {
+	// Shards is the shard count; it is rounded up to a power of two.
+	// Default 8.
+	Shards int
+	// TotalBits is the overall space budget, divided among shards in
+	// proportion to their share of the positive keys. Required.
+	TotalBits uint64
+	// Params is the per-shard construction template. Its TotalBits field
+	// is ignored (the budget comes from Config.TotalBits); its Seed is
+	// perturbed per shard so shards hash independently.
+	Params habf.Params
+	// RebuildThreshold is the fraction of post-build Adds (relative to
+	// the keys present at the last build) that triggers a background
+	// rebuild of a shard. Zero means the 2% default; negative disables
+	// background rebuilds.
+	RebuildThreshold float64
+}
+
+// DefaultShards is the shard count when Config.Shards is zero.
+const DefaultShards = 8
+
+// DefaultRebuildThreshold matches the "rebuild once AddedKeys reaches a
+// few percent of the original set" guidance of the Add documentation.
+const DefaultRebuildThreshold = 0.02
+
+// minShardBits is the smallest per-shard budget; habf.New rejects
+// anything under 64 bits, and a tiny shard would be all false positives.
+const minShardBits = 128
+
+// Set is a sharded HABF. All methods are safe for concurrent use.
+type Set struct {
+	shards      []*shard
+	shift       uint // route = hash >> shift
+	routeSeed   uint64
+	threshold   float64
+	rebuilds    atomic.Uint64
+	rebuildErrs atomic.Uint64
+	rebuildWG   sync.WaitGroup
+}
+
+type shard struct {
+	set *Set
+
+	// mu guards every mutable field below. Readers (Contains) take the
+	// read side; Add and the rebuild swap take the write side.
+	mu         sync.RWMutex
+	f          *habf.Filter // nil while the shard has no positive keys
+	positives  [][]byte     // every key the shard answers true for
+	negatives  []habf.WeightedKey
+	baseline   int // len(positives) at the last (re)build
+	rebuilding bool
+	bitsPerKey float64
+	params     habf.Params // template; TotalBits set per build
+}
+
+// New partitions positives and negatives across shards and builds every
+// shard in parallel. At least one positive key is required overall;
+// individual shards may come up empty and answer false until keys are
+// added to them.
+func New(positives [][]byte, negatives []habf.WeightedKey, cfg Config) (*Set, error) {
+	if len(positives) == 0 {
+		return nil, fmt.Errorf("shard: empty positive key set")
+	}
+	// Validate every negative up front, including those routed to shards
+	// that come up empty (habf.New would only see them on a later lazy
+	// build, where there is no error channel back to the caller).
+	for i, wk := range negatives {
+		if wk.Cost < 0 {
+			return nil, fmt.Errorf("shard: negative key %d has negative cost %v", i, wk.Cost)
+		}
+	}
+	n := cfg.Shards
+	if n <= 0 {
+		n = DefaultShards
+	}
+	if n&(n-1) != 0 {
+		n = 1 << bits.Len(uint(n)) // round up to a power of two
+	}
+	threshold := cfg.RebuildThreshold
+	if threshold == 0 {
+		threshold = DefaultRebuildThreshold
+	}
+	params := cfg.Params
+	if params.Seed == 0 {
+		params.Seed = 1
+	}
+
+	s := &Set{
+		shards:    make([]*shard, n),
+		shift:     uint(64 - bits.TrailingZeros(uint(n))),
+		routeSeed: uint64(params.Seed)*0x2545f4914f6cdd1d + 0x9e3779b97f4a7c15,
+		threshold: threshold,
+	}
+
+	// Partition by fingerprint prefix.
+	posByShard := make([][][]byte, n)
+	negByShard := make([][]habf.WeightedKey, n)
+	for _, key := range positives {
+		id := s.route(key)
+		posByShard[id] = append(posByShard[id], key)
+	}
+	for _, wk := range negatives {
+		id := s.route(wk.Key)
+		negByShard[id] = append(negByShard[id], wk)
+	}
+
+	bitsPerKey := float64(cfg.TotalBits) / float64(len(positives))
+	for i := range s.shards {
+		p := params
+		p.Seed = perturbSeed(params.Seed, i)
+		s.shards[i] = &shard{
+			set:        s,
+			positives:  posByShard[i],
+			negatives:  negByShard[i],
+			bitsPerKey: bitsPerKey,
+			params:     p,
+		}
+	}
+
+	// Build every non-empty shard in parallel.
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i, sh := range s.shards {
+		if len(sh.positives) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			f, err := sh.build(sh.positives)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			sh.f = f
+			sh.baseline = len(sh.positives)
+		}(i, sh)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return s, nil
+}
+
+// perturbSeed derives a per-shard seed that is deterministic in the base
+// seed but decorrelated across shards (and never the zero value that
+// Params would re-default).
+func perturbSeed(base int64, i int) int64 {
+	seed := int64(hashes.Mix64(uint64(base) ^ uint64(i+1)*0x9e3779b97f4a7c15))
+	if seed == 0 {
+		seed = 1
+	}
+	return seed
+}
+
+// route returns the shard index for a key: the top log2(N) bits of an
+// independent fingerprint.
+func (s *Set) route(key []byte) int {
+	return int(hashes.XXH64Seed(key, s.routeSeed) >> s.shift)
+}
+
+// build constructs the shard's filter over the given keys with a budget
+// proportional to the key count.
+func (sh *shard) build(keys [][]byte) (*habf.Filter, error) {
+	p := sh.params
+	p.TotalBits = uint64(sh.bitsPerKey * float64(len(keys)))
+	if p.TotalBits < minShardBits {
+		p.TotalBits = minShardBits
+	}
+	return habf.New(keys, sh.negatives, p)
+}
+
+// Contains reports whether key may be a member. Safe for any number of
+// concurrent callers, including concurrent Adds.
+func (s *Set) Contains(key []byte) bool {
+	sh := s.shards[s.route(key)]
+	sh.mu.RLock()
+	ok := sh.f != nil && sh.f.Contains(key)
+	sh.mu.RUnlock()
+	return ok
+}
+
+// batchChunk bounds the stack scratch used to group a batch by shard.
+// Larger batches are processed in chunks of this size.
+const batchChunk = 512
+
+// ContainsBatch answers one result per key, in order. Each shard's read
+// lock is taken once per chunk of keys (not once per key) and the whole
+// chunk shares one scratch buffer, so the per-key cost drops to routing
+// plus the raw two-round query. The only heap allocation is the result
+// slice.
+func (s *Set) ContainsBatch(keys [][]byte) []bool {
+	out := make([]bool, len(keys))
+	for lo := 0; lo < len(keys); lo += batchChunk {
+		hi := lo + batchChunk
+		if hi > len(keys) {
+			hi = len(keys)
+		}
+		s.containsChunk(out[lo:hi], keys[lo:hi])
+	}
+	return out
+}
+
+// maxChunkLocks bounds how many shard read locks one chunk holds at
+// once; wider sets (implausible for a single process) fall back to
+// per-key locking.
+const maxChunkLocks = 64
+
+// containsChunk evaluates up to batchChunk keys under one lock round:
+// every shard's read lock is taken once, in ascending order, and the
+// whole chunk is evaluated with cached filter pointers and one reused
+// scratch buffer. Writers (Add, rebuild swaps) each hold exactly one
+// shard lock, so readers acquiring the full ascending sequence cannot
+// deadlock against them; they are delayed by at most one chunk.
+func (s *Set) containsChunk(out []bool, keys [][]byte) {
+	n := len(s.shards)
+	if n > maxChunkLocks || len(keys) < n {
+		// Degenerate batches (fewer keys than shards) would pay more for
+		// the lock round than per-key locking costs; route individually.
+		for i, key := range keys {
+			out[i] = s.Contains(key)
+		}
+		return
+	}
+
+	var filters [maxChunkLocks]*habf.Filter
+	for id := 0; id < n; id++ {
+		s.shards[id].mu.RLock()
+		filters[id] = s.shards[id].f
+	}
+	var buf [32]uint8
+	for i, key := range keys {
+		f := filters[s.route(key)]
+		out[i] = f != nil && f.ContainsScratch(key, buf[:0])
+	}
+	for id := 0; id < n; id++ {
+		s.shards[id].mu.RUnlock()
+	}
+}
+
+// Add inserts a key. It takes only the owning shard's lock; queries to
+// other shards proceed untouched, and once the shard's post-build Adds
+// exceed the rebuild threshold a background rebuild is kicked off.
+func (s *Set) Add(key []byte) {
+	sh := s.shards[s.route(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.positives = append(sh.positives, key)
+	if sh.f == nil {
+		// First key(s) ever routed here: build inline over everything
+		// accumulated so far (rare, tiny). Construction cannot fail —
+		// params were validated by the initial New, the budget is floored
+		// at minShardBits, and negative costs are validated up front —
+		// but if it ever does, count it and retry on the next Add, which
+		// re-enters this branch with the full pending key list.
+		if f, err := sh.build(sh.positives); err == nil {
+			sh.f = f
+			sh.baseline = len(sh.positives)
+		} else {
+			s.rebuildErrs.Add(1)
+		}
+		return
+	}
+	sh.f.Add(key)
+	if s.threshold > 0 && !sh.rebuilding &&
+		float64(sh.f.AddedKeys()) >= s.threshold*float64(sh.baseline) {
+		sh.rebuilding = true
+		s.rebuildWG.Add(1)
+		go sh.rebuild()
+	}
+}
+
+// rebuild reconstructs the shard's filter over its full current key set —
+// re-running the TPJO optimization that per-key Add cannot — and swaps it
+// in. Construction happens outside the lock; only the final swap (plus a
+// replay of keys added mid-rebuild) blocks the shard's readers.
+func (sh *shard) rebuild() {
+	defer sh.set.rebuildWG.Done()
+
+	sh.mu.RLock()
+	n0 := len(sh.positives)
+	// Three-index slice: appends by concurrent Adds reallocate instead of
+	// writing into the snapshot's backing array.
+	snap := sh.positives[:n0:n0]
+	sh.mu.RUnlock()
+
+	f, err := sh.build(snap)
+
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.rebuilding = false
+	if err != nil {
+		sh.set.rebuildErrs.Add(1)
+		return
+	}
+	for _, key := range sh.positives[n0:] { // added while we were building
+		f.Add(key)
+	}
+	sh.f = f
+	sh.baseline = len(sh.positives)
+	sh.set.rebuilds.Add(1)
+}
+
+// WaitRebuilds blocks until every background rebuild in flight at call
+// time (and any they cascade into) has finished. Intended for tests and
+// orderly shutdown.
+func (s *Set) WaitRebuilds() { s.rebuildWG.Wait() }
+
+// NumShards returns the shard count.
+func (s *Set) NumShards() int { return len(s.shards) }
+
+// Name identifies the filter in experiment output.
+func (s *Set) Name() string {
+	inner := "HABF"
+	if s.shards[0].params.Fast {
+		inner = "f-HABF"
+	}
+	return fmt.Sprintf("Sharded[%d×%s]", len(s.shards), inner)
+}
+
+// SizeBits returns the summed query-time footprint of every shard.
+func (s *Set) SizeBits() uint64 {
+	var total uint64
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		if sh.f != nil {
+			total += sh.f.SizeBits()
+		}
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
+// Stats is a point-in-time summary across shards.
+type Stats struct {
+	Shards        int
+	Keys          uint64 // total positive keys currently represented
+	Added         uint64 // Adds not yet folded into a rebuild
+	Rebuilds      uint64 // background rebuilds completed
+	RebuildErrors uint64
+	SizeBits      uint64
+}
+
+// Stats snapshots the set. Shards are sampled one at a time, so totals
+// are approximate under concurrent writes.
+func (s *Set) Stats() Stats {
+	st := Stats{
+		Shards:        len(s.shards),
+		Rebuilds:      s.rebuilds.Load(),
+		RebuildErrors: s.rebuildErrs.Load(),
+	}
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		st.Keys += uint64(len(sh.positives))
+		if sh.f != nil {
+			st.Added += sh.f.AddedKeys()
+			st.SizeBits += sh.f.SizeBits()
+		}
+		sh.mu.RUnlock()
+	}
+	return st
+}

@@ -1,0 +1,258 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/habf"
+)
+
+func fixture(n int) ([][]byte, []habf.WeightedKey, [][]byte) {
+	pos := make([][]byte, n)
+	neg := make([]habf.WeightedKey, n)
+	negKeys := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		pos[i] = []byte(fmt.Sprintf("member-%06d", i))
+		negKeys[i] = []byte(fmt.Sprintf("absent-%06d", i))
+		neg[i] = habf.WeightedKey{Key: negKeys[i], Cost: float64(n - i)}
+	}
+	return pos, neg, negKeys
+}
+
+func newSet(t testing.TB, n int, cfg Config) (*Set, [][]byte, [][]byte) {
+	t.Helper()
+	pos, neg, negKeys := fixture(n)
+	if cfg.TotalBits == 0 {
+		cfg.TotalBits = uint64(12 * n)
+	}
+	s, err := New(pos, neg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, pos, negKeys
+}
+
+func TestNoFalseNegatives(t *testing.T) {
+	s, pos, _ := newSet(t, 5000, Config{Shards: 8})
+	for _, key := range pos {
+		if !s.Contains(key) {
+			t.Fatalf("false negative for %q", key)
+		}
+	}
+}
+
+func TestBatchMatchesPerKey(t *testing.T) {
+	s, pos, negKeys := newSet(t, 3000, Config{Shards: 8})
+	probe := append(append([][]byte{}, pos...), negKeys...)
+	got := s.ContainsBatch(probe)
+	for i, key := range probe {
+		if want := s.Contains(key); got[i] != want {
+			t.Fatalf("key %q: batch=%v per-key=%v", key, got[i], want)
+		}
+	}
+}
+
+func TestShardingReducesWeightedFPRLikeSingleFilter(t *testing.T) {
+	// A sharded filter is still an HABF per shard: the weighted FPR over
+	// the known negatives must stay in the same regime as a single filter
+	// at equal space (it is not required to be identical — routing splits
+	// the optimization problem).
+	pos, neg, negKeys := fixture(8000)
+	bitsTotal := uint64(12 * len(pos))
+	single, err := habf.New(pos, neg, habf.Params{TotalBits: bitsTotal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(pos, neg, Config{Shards: 8, TotalBits: bitsTotal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(contains func([]byte) bool) int {
+		fp := 0
+		for _, key := range negKeys {
+			if contains(key) {
+				fp++
+			}
+		}
+		return fp
+	}
+	fpSingle := count(single.Contains)
+	fpSharded := count(s.Contains)
+	t.Logf("false positives over %d known negatives: single=%d sharded=%d", len(negKeys), fpSingle, fpSharded)
+	// Known negatives are what HABF optimizes away; both should keep them
+	// near zero. Allow the sharded one a small constant slack.
+	if fpSharded > fpSingle+len(negKeys)/100 {
+		t.Fatalf("sharding degraded known-negative FPs: single=%d sharded=%d", fpSingle, fpSharded)
+	}
+}
+
+func TestShardCountRounding(t *testing.T) {
+	s, _, _ := newSet(t, 500, Config{Shards: 6})
+	if s.NumShards() != 8 {
+		t.Fatalf("Shards=6 should round to 8, got %d", s.NumShards())
+	}
+	s1, _, _ := newSet(t, 500, Config{Shards: 1})
+	if s1.NumShards() != 1 {
+		t.Fatalf("Shards=1 got %d", s1.NumShards())
+	}
+	if !s1.Contains([]byte("member-000001")) {
+		t.Fatal("single-shard set lost a key")
+	}
+	sd, _, _ := newSet(t, 500, Config{})
+	if sd.NumShards() != DefaultShards {
+		t.Fatalf("default shards = %d, want %d", sd.NumShards(), DefaultShards)
+	}
+}
+
+func TestAddThenContains(t *testing.T) {
+	s, _, _ := newSet(t, 2000, Config{Shards: 4, RebuildThreshold: -1})
+	fresh := make([][]byte, 500)
+	for i := range fresh {
+		fresh[i] = []byte(fmt.Sprintf("late-%06d", i))
+		s.Add(fresh[i])
+		if !s.Contains(fresh[i]) {
+			t.Fatalf("key %q not visible immediately after Add", fresh[i])
+		}
+	}
+	for _, ok := range s.ContainsBatch(fresh) {
+		if !ok {
+			t.Fatal("batch lost an added key")
+		}
+	}
+	if st := s.Stats(); st.Rebuilds != 0 {
+		t.Fatalf("rebuilds ran with threshold disabled: %+v", st)
+	}
+}
+
+func TestBackgroundRebuildFoldsAddsIn(t *testing.T) {
+	s, pos, _ := newSet(t, 2000, Config{Shards: 4, RebuildThreshold: 0.01})
+	var fresh [][]byte
+	for i := 0; i < 400; i++ {
+		k := []byte(fmt.Sprintf("late-%06d", i))
+		fresh = append(fresh, k)
+		s.Add(k)
+	}
+	s.WaitRebuilds()
+	st := s.Stats()
+	if st.Rebuilds == 0 {
+		t.Fatalf("expected background rebuilds at threshold 1%%: %+v", st)
+	}
+	if st.RebuildErrors != 0 {
+		t.Fatalf("rebuild errors: %+v", st)
+	}
+	for _, key := range append(append([][]byte{}, pos...), fresh...) {
+		if !s.Contains(key) {
+			t.Fatalf("false negative for %q after rebuild", key)
+		}
+	}
+	if st.Keys != uint64(len(pos)+len(fresh)) {
+		t.Fatalf("Stats.Keys = %d, want %d", st.Keys, len(pos)+len(fresh))
+	}
+}
+
+func TestEmptyShardServesAndFills(t *testing.T) {
+	// One positive key: most shards come up empty yet must answer.
+	one := [][]byte{[]byte("only")}
+	s, err := New(one, nil, Config{Shards: 8, TotalBits: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Contains(one[0]) {
+		t.Fatal("false negative on singleton")
+	}
+	if s.Contains([]byte("someone-else")) {
+		t.Log("false positive on empty-ish set (possible, not fatal)")
+	}
+	// Adds route into empty shards and must lazily build them.
+	for i := 0; i < 64; i++ {
+		k := []byte(fmt.Sprintf("grown-%03d", i))
+		s.Add(k)
+		if !s.Contains(k) {
+			t.Fatalf("empty shard did not absorb %q", k)
+		}
+	}
+}
+
+func TestEmptyPositivesRejected(t *testing.T) {
+	if _, err := New(nil, nil, Config{TotalBits: 1024}); err == nil {
+		t.Fatal("New accepted an empty positive set")
+	}
+}
+
+func TestDeterministicConstruction(t *testing.T) {
+	pos, neg, negKeys := fixture(2000)
+	cfg := Config{Shards: 8, TotalBits: uint64(12 * len(pos)), Params: habf.Params{Seed: 7}}
+	a, err := New(pos, neg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(pos, neg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range negKeys {
+		if a.Contains(key) != b.Contains(key) {
+			t.Fatalf("same seed, different answer for %q", key)
+		}
+	}
+}
+
+// TestConcurrentAddAndQuery exercises the headline concurrency contract
+// under the race detector: many readers, many writers, background
+// rebuilds — no external locking anywhere.
+func TestConcurrentAddAndQuery(t *testing.T) {
+	s, pos, negKeys := newSet(t, 4000, Config{Shards: 8, RebuildThreshold: 0.01})
+
+	const writers = 2
+	const perWriter = 300
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				s.Add([]byte(fmt.Sprintf("hot-%d-%06d", w, i)))
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			batch := make([][]byte, 0, 64)
+			for i := 0; i < 2000; i++ {
+				key := pos[(i*7+r)%len(pos)]
+				if !s.Contains(key) {
+					t.Errorf("false negative for %q under concurrency", key)
+					return
+				}
+				batch = append(batch, key, negKeys[(i*3+r)%len(negKeys)])
+				if len(batch) == cap(batch) {
+					for j, ok := range s.ContainsBatch(batch) {
+						if j%2 == 0 && !ok {
+							t.Errorf("batch false negative under concurrency")
+							return
+						}
+					}
+					batch = batch[:0]
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	s.WaitRebuilds()
+
+	st := s.Stats()
+	if st.RebuildErrors != 0 {
+		t.Fatalf("rebuild errors: %+v", st)
+	}
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			key := []byte(fmt.Sprintf("hot-%d-%06d", w, i))
+			if !s.Contains(key) {
+				t.Fatalf("added key %q lost", key)
+			}
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package habf
+
+import (
+	"fmt"
+
+	"repro/internal/shard"
+)
+
+// Sharded is an HABF partitioned across N independent shards by
+// fingerprint-prefix routing — the serving-layer form of the filter.
+//
+// Where a plain *HABF requires external synchronization between Add and
+// readers, a *Sharded is safe for fully concurrent use: any number of
+// goroutines may call Contains, ContainsBatch and Add with no locking.
+// Shards build in parallel at construction; Add takes only the owning
+// shard's lock; and once a shard accumulates post-construction Adds past
+// the rebuild threshold it is re-optimized in the background and swapped
+// in atomically while every other shard keeps serving.
+type Sharded struct {
+	set *shard.Set
+}
+
+var _ Filter = (*Sharded)(nil)
+
+// ShardedOption customizes NewSharded beyond its defaults (8 shards, 2%
+// rebuild threshold, the paper's filter parameters per shard).
+type ShardedOption func(*shard.Config)
+
+// WithShards sets the shard count (rounded up to a power of two).
+func WithShards(n int) ShardedOption {
+	return func(c *shard.Config) { c.Shards = n }
+}
+
+// WithRebuildThreshold sets the fraction of post-build Adds (relative to
+// the keys present at the last build) that triggers a background rebuild
+// of a shard. Pass a negative value to disable background rebuilds.
+func WithRebuildThreshold(t float64) ShardedOption {
+	return func(c *shard.Config) { c.RebuildThreshold = t }
+}
+
+// WithShardFilterOptions applies per-filter Options (WithK, WithSeed,
+// WithCellBits, ...) to every shard's construction parameters.
+func WithShardFilterOptions(opts ...Option) ShardedOption {
+	return func(c *shard.Config) {
+		for _, o := range opts {
+			o(&c.Params)
+		}
+	}
+}
+
+// WithFastShards builds every shard as an f-HABF (double hashing), for
+// workloads where construction and rebuild speed dominate.
+func WithFastShards() ShardedOption {
+	return func(c *shard.Config) { c.Params.Fast = true }
+}
+
+// NewSharded builds a sharded HABF over positives within totalBits of
+// memory, splitting the budget across shards in proportion to their key
+// share. Negatives are routed to the shard their colliding positives
+// live in, so per-shard TPJO sees exactly the conflicts it can fix.
+func NewSharded(positives [][]byte, negatives []WeightedKey, totalBits uint64, opts ...ShardedOption) (*Sharded, error) {
+	cfg := shard.Config{TotalBits: totalBits}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	set, err := shard.New(positives, convertNegatives(negatives), cfg)
+	if err != nil {
+		return nil, fmt.Errorf("habf: %w", err)
+	}
+	return &Sharded{set: set}, nil
+}
+
+// Contains reports whether key may be a member (no false negatives).
+// Safe for any number of concurrent callers, including concurrent Adds.
+func (s *Sharded) Contains(key []byte) bool { return s.set.Contains(key) }
+
+// ContainsBatch answers one result per key, in order. Keys are grouped by
+// shard so each shard's lock is taken once per batch and per-call setup
+// is amortized across the group — the preferred query path for serving
+// loops that already hold a batch of requests.
+func (s *Sharded) ContainsBatch(keys [][]byte) []bool { return s.set.ContainsBatch(keys) }
+
+// Add inserts a key, locking only the owning shard. The key is queryable
+// as soon as Add returns, and the zero-false-negative guarantee holds
+// across any background rebuilds it may trigger.
+func (s *Sharded) Add(key []byte) { s.set.Add(key) }
+
+// Name identifies the filter variant, e.g. "Sharded[8×HABF]".
+func (s *Sharded) Name() string { return s.set.Name() }
+
+// SizeBits returns the summed query-time footprint of every shard.
+func (s *Sharded) SizeBits() uint64 { return s.set.SizeBits() }
+
+// NumShards returns the shard count.
+func (s *Sharded) NumShards() int { return s.set.NumShards() }
+
+// WaitRebuilds blocks until in-flight background rebuilds finish.
+// Intended for tests and orderly shutdown; serving paths never need it.
+func (s *Sharded) WaitRebuilds() { s.set.WaitRebuilds() }
+
+// ShardStats is a point-in-time summary across shards.
+type ShardStats = shard.Stats
+
+// Stats snapshots per-shard totals (keys, pending Adds, rebuilds, size).
+func (s *Sharded) Stats() ShardStats { return s.set.Stats() }
