@@ -7,6 +7,8 @@
 //	habfbench -fig fig10 [-scale 1.0] [-seed 1]
 //	habfbench -all [-scale 0.25]
 //	habfbench -serve [-shards 8] [-dist zipfian] [-batch 256] [-workers 4] [-writers 1]
+//	habfbench -serve -snapshot filter.snap        # build, then checkpoint
+//	habfbench -serve -restore filter.snap         # restore instead of building
 //
 // Scale 1.0 runs 40 k Shalla keys and 100 k YCSB keys per side with the
 // paper's bits-per-key grid; larger scales approach the published sizes.
@@ -14,6 +16,9 @@
 // queries against one filter vs the sharded filter vs sharded batches,
 // under a uniform/zipfian/sequential/latest key-access distribution,
 // optionally with concurrent writers on the no-external-locking Add path.
+// -snapshot saves the sharded filter after construction; -restore loads
+// it (zero-copy) instead of rebuilding and reports restore-vs-build
+// timing, so the cold-start win is measurable on real hardware.
 package main
 
 import (
@@ -33,28 +38,32 @@ func main() {
 		scale = flag.Float64("scale", 1.0, "dataset scale multiplier")
 		seed  = flag.Int64("seed", 1, "workload and construction seed")
 
-		serve   = flag.Bool("serve", false, "run the serving-layer throughput benchmark")
-		shards  = flag.Int("shards", 8, "serve: shard count (rounded up to a power of two)")
-		dist    = flag.String("dist", "zipfian", "serve: key distribution (uniform|zipfian|sequential|latest)")
-		keys    = flag.Int("keys", 100000, "serve: positive/negative keys per side")
-		batch   = flag.Int("batch", 256, "serve: ContainsBatch size")
-		workers = flag.Int("workers", 4, "serve: concurrent query goroutines")
-		writers = flag.Int("writers", 1, "serve: concurrent Add goroutines in the mixed phase")
-		ops     = flag.Int("ops", 4_000_000, "serve: total keys queried per measurement")
+		serve    = flag.Bool("serve", false, "run the serving-layer throughput benchmark")
+		shards   = flag.Int("shards", 8, "serve: shard count (rounded up to a power of two)")
+		dist     = flag.String("dist", "zipfian", "serve: key distribution (uniform|zipfian|sequential|latest)")
+		keys     = flag.Int("keys", 100000, "serve: positive/negative keys per side")
+		batch    = flag.Int("batch", 256, "serve: ContainsBatch size")
+		workers  = flag.Int("workers", 4, "serve: concurrent query goroutines")
+		writers  = flag.Int("writers", 1, "serve: concurrent Add goroutines in the mixed phase")
+		ops      = flag.Int("ops", 4_000_000, "serve: total keys queried per measurement")
+		snapPath = flag.String("snapshot", "", "serve: save the sharded filter's snapshot to this path after building")
+		restore  = flag.String("restore", "", "serve: restore the sharded filter from this snapshot instead of building it")
 	)
 	flag.Parse()
 
 	switch {
 	case *serve:
 		cfg := serveConfig{
-			keys:    *keys,
-			shards:  *shards,
-			batch:   *batch,
-			workers: *workers,
-			ops:     *ops,
-			dist:    *dist,
-			writers: *writers,
-			seed:    *seed,
+			keys:     *keys,
+			shards:   *shards,
+			batch:    *batch,
+			workers:  *workers,
+			ops:      *ops,
+			dist:     *dist,
+			writers:  *writers,
+			seed:     *seed,
+			snapshot: *snapPath,
+			restore:  *restore,
 		}
 		if err := runServe(cfg, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "habfbench:", err)

@@ -17,14 +17,16 @@ import (
 // under a configurable key-access distribution, with optional concurrent
 // writers exercising the Add path (per-shard locks, no external locking).
 type serveConfig struct {
-	keys    int
-	shards  int
-	batch   int
-	workers int
-	ops     int
-	dist    string
-	writers int
-	seed    int64
+	keys     int
+	shards   int
+	batch    int
+	workers  int
+	ops      int
+	dist     string
+	writers  int
+	seed     int64
+	snapshot string // save the sharded filter here after building
+	restore  string // load the sharded filter from here instead of building
 }
 
 func runServe(cfg serveConfig, w io.Writer) error {
@@ -52,17 +54,56 @@ func runServe(cfg serveConfig, w io.Writer) error {
 		return err
 	}
 	singleBuild := time.Since(start)
-	start = time.Now()
-	sharded, err := habf.NewSharded(data.Positives, negatives, bits, habf.WithShards(cfg.shards))
-	if err != nil {
-		return err
+
+	var (
+		sharded      *habf.Sharded
+		shardedBuild time.Duration
+		restored     bool
+	)
+	if cfg.restore != "" {
+		start = time.Now()
+		sharded, err = habf.LoadFile(cfg.restore)
+		if err != nil {
+			return fmt.Errorf("restore: %w", err)
+		}
+		shardedBuild = time.Since(start)
+		restored = true
+	} else {
+		start = time.Now()
+		sharded, err = habf.NewSharded(data.Positives, negatives, bits, habf.WithShards(cfg.shards))
+		if err != nil {
+			return err
+		}
+		shardedBuild = time.Since(start)
 	}
-	shardedBuild := time.Since(start)
 
 	fmt.Fprintf(w, "serve: %d keys, %s access, %d shards, batch %d, %d query workers, %d writers, GOMAXPROCS %d\n",
 		cfg.keys, dist, sharded.NumShards(), cfg.batch, cfg.workers, cfg.writers, runtime.GOMAXPROCS(0))
-	fmt.Fprintf(w, "build: single %v, sharded %v (parallel shard construction)\n\n",
-		singleBuild.Round(time.Millisecond), shardedBuild.Round(time.Millisecond))
+	if restored {
+		fmt.Fprintf(w, "build: single %v, sharded restored from %s in %v (%.0f× vs single build)\n\n",
+			singleBuild.Round(time.Millisecond), cfg.restore, shardedBuild.Round(time.Microsecond),
+			float64(singleBuild)/float64(shardedBuild))
+	} else {
+		fmt.Fprintf(w, "build: single %v, sharded %v (parallel shard construction)\n\n",
+			singleBuild.Round(time.Millisecond), shardedBuild.Round(time.Millisecond))
+	}
+
+	if cfg.snapshot != "" {
+		start = time.Now()
+		if err := sharded.SaveFile(cfg.snapshot); err != nil {
+			return fmt.Errorf("snapshot: %w", err)
+		}
+		// shardedBuild holds the restore time when -restore was also set,
+		// so only label it a build time when it is one.
+		if restored {
+			fmt.Fprintf(w, "snapshot: wrote %s in %v (restore with -restore %s)\n\n",
+				cfg.snapshot, time.Since(start).Round(time.Millisecond), cfg.snapshot)
+		} else {
+			fmt.Fprintf(w, "snapshot: wrote %s in %v (build was %v; restore with -restore %s)\n\n",
+				cfg.snapshot, time.Since(start).Round(time.Millisecond),
+				shardedBuild.Round(time.Millisecond), cfg.snapshot)
+		}
+	}
 
 	// probeStream mixes positives and negatives under the distribution.
 	probeStream := func(seed int64) ([][]byte, error) {
@@ -156,6 +197,14 @@ func runServe(cfg serveConfig, w io.Writer) error {
 	}
 	sharded.WaitRebuilds()
 	st := sharded.Stats()
+	if restored {
+		// A restored set carries no key list, so Keys counts only
+		// post-restore Adds — report it as such rather than as the
+		// (much larger) member count the filter actually serves.
+		fmt.Fprintf(w, "\nsharded stats: %d keys added post-restore, %d of %d shards from snapshot (no drift rebuilds), %.1f KiB\n",
+			st.Keys, st.Restored, st.Shards, float64(st.SizeBits)/8/1024)
+		return nil
+	}
 	fmt.Fprintf(w, "\nsharded stats: %d keys, %d adds pending rebuild, %d background rebuilds, %.1f KiB\n",
 		st.Keys, st.Added, st.Rebuilds, float64(st.SizeBits)/8/1024)
 	return nil

@@ -6,8 +6,15 @@
 // shard rebuilds folding those members into a re-optimized filter while
 // the other shards keep serving.
 //
+// The second act is the restart story: the live filter is checkpointed
+// with SaveFile, the process state is "killed" (the filter dropped), and
+// a fresh filter is restored from the snapshot with LoadFile — a
+// zero-copy load that is query-ready immediately — then re-verified
+// against every member that was acknowledged before the save, including
+// the ones streamed in while serving.
+//
 // Counts printed are deterministic (fixed seeds, fixed workload);
-// throughput depends on the machine and goes to stderr.
+// throughput and timings depend on the machine and go to stderr.
 //
 //	go run ./examples/shardedserve
 package main
@@ -16,6 +23,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -47,7 +55,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "built %s in %v\n", s.Name(), time.Since(start).Round(time.Millisecond))
+	buildElapsed := time.Since(start)
+	fmt.Fprintf(os.Stderr, "built %s in %v\n", s.Name(), buildElapsed.Round(time.Millisecond))
 
 	fmt.Printf("shardedserve: %s over %d members, %d weighted negatives, %d new members streamed in\n\n",
 		s.Name(), nMembers, nOutside, nNewKeys)
@@ -123,6 +132,67 @@ func main() {
 	fmt.Printf("final state: %d members across %d shards, %.1f KiB\n",
 		st.Keys, st.Shards, float64(st.SizeBits)/8/1024)
 	if missing != 0 || st.RebuildErrors != 0 {
+		os.Exit(1)
+	}
+
+	// Act two: save → kill → restore. Checkpoint the live filter, drop it
+	// (the "crash"), and bring a replacement up from the snapshot.
+	dir, err := os.MkdirTemp("", "shardedserve")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	snapPath := filepath.Join(dir, "filter.snap")
+
+	saveStart := time.Now()
+	if err := s.SaveFile(snapPath); err != nil {
+		log.Fatal(err)
+	}
+	info, err := os.Stat(snapPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "saved snapshot (%.1f KiB) in %v\n",
+		float64(info.Size())/1024, time.Since(saveStart).Round(time.Microsecond))
+
+	s = nil // "kill" the serving process's filter
+
+	restoreStart := time.Now()
+	restoredSet, err := habf.LoadFile(snapPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	restoreElapsed := time.Since(restoreStart)
+	fmt.Fprintf(os.Stderr, "restored in %v (zero-copy; build took %v)\n",
+		restoreElapsed.Round(time.Microsecond), buildElapsed.Round(time.Millisecond))
+
+	// Zero-false-negative self-check over everything acknowledged before
+	// the save: the original members and the streamed-in ones.
+	restoredMissing := 0
+	for _, key := range data.Positives {
+		if !restoredSet.Contains(key) {
+			restoredMissing++
+		}
+	}
+	for i := 0; i < nNewKeys; i++ {
+		if !restoredSet.Contains([]byte(fmt.Sprintf("member-late-%06d", i))) {
+			restoredMissing++
+		}
+	}
+	fmt.Printf("\nsave -> kill -> restore: members lost across restart: %d of %d (guaranteed 0)\n",
+		restoredMissing, nMembers+nNewKeys)
+	if restoredMissing != 0 {
+		log.Fatal("zero-false-negative contract violated after restore")
+	}
+
+	// The restored filter is live: it keeps absorbing new members.
+	restoredSet.Add([]byte("member-post-restore"))
+	postOK := restoredSet.Contains([]byte("member-post-restore"))
+	fmt.Printf("restored filter accepts new members: %v\n", postOK)
+	rst := restoredSet.Stats()
+	fmt.Printf("restored state: %d of %d shards serving from the snapshot buffer\n",
+		rst.Restored, rst.Shards)
+	if !postOK {
 		os.Exit(1)
 	}
 }

@@ -19,6 +19,10 @@ import (
 type Bits struct {
 	words []uint64
 	n     uint64
+	// borrowed is true while words aliases caller-provided memory (see
+	// UnmarshalBinaryBorrow). The first mutation copies the payload into
+	// owned memory and clears the flag.
+	borrowed bool
 }
 
 // New returns a bit vector with n bits, all zero.
@@ -40,6 +44,9 @@ func (b *Bits) Set(i uint64) {
 	if i >= b.n {
 		panic(fmt.Sprintf("bitset: Set(%d) out of range [0,%d)", i, b.n))
 	}
+	if b.borrowed {
+		b.materialize()
+	}
 	b.words[i>>6] |= 1 << (i & 63)
 }
 
@@ -47,6 +54,9 @@ func (b *Bits) Set(i uint64) {
 func (b *Bits) Clear(i uint64) {
 	if i >= b.n {
 		panic(fmt.Sprintf("bitset: Clear(%d) out of range [0,%d)", i, b.n))
+	}
+	if b.borrowed {
+		b.materialize()
 	}
 	b.words[i>>6] &^= 1 << (i & 63)
 }
@@ -79,6 +89,13 @@ func (b *Bits) FillRatio() float64 {
 
 // Reset clears every bit.
 func (b *Bits) Reset() {
+	if b.borrowed {
+		// The result is all-zero regardless of the borrowed payload, so
+		// allocate fresh instead of copying first.
+		b.words = make([]uint64, len(b.words))
+		b.borrowed = false
+		return
+	}
 	for i := range b.words {
 		b.words[i] = 0
 	}
@@ -109,6 +126,9 @@ func (b *Bits) Union(o *Bits) error {
 	if b.n != o.n {
 		return fmt.Errorf("bitset: union length mismatch %d != %d", b.n, o.n)
 	}
+	if b.borrowed {
+		b.materialize()
+	}
 	for i := range b.words {
 		b.words[i] |= o.words[i]
 	}
@@ -119,6 +139,9 @@ func (b *Bits) Union(o *Bits) error {
 func (b *Bits) Intersect(o *Bits) error {
 	if b.n != o.n {
 		return fmt.Errorf("bitset: intersect length mismatch %d != %d", b.n, o.n)
+	}
+	if b.borrowed {
+		b.materialize()
 	}
 	for i := range b.words {
 		b.words[i] &= o.words[i]
@@ -139,8 +162,25 @@ func (b *Bits) MarshalBinary() ([]byte, error) {
 	return out, nil
 }
 
-// UnmarshalBinary decodes a stream produced by MarshalBinary.
+// UnmarshalBinary decodes a stream produced by MarshalBinary into owned
+// memory; data is not retained.
 func (b *Bits) UnmarshalBinary(data []byte) error {
+	return b.unmarshal(data, false)
+}
+
+// UnmarshalBinaryBorrow decodes a stream produced by MarshalBinary
+// without copying the payload when possible: if the word payload inside
+// data is 8-byte aligned in memory (and the host is little-endian), the
+// decoded vector aliases data directly. The caller must keep data alive
+// and unmodified for as long as the vector is read; the first mutating
+// call (Set, Clear, Union, ...) copies the payload into owned memory and
+// releases the alias. When aliasing is not possible the payload is
+// copied, exactly like UnmarshalBinary.
+func (b *Bits) UnmarshalBinaryBorrow(data []byte) error {
+	return b.unmarshal(data, true)
+}
+
+func (b *Bits) unmarshal(data []byte, borrow bool) error {
 	if len(data) < 12 {
 		return errors.New("bitset: truncated header")
 	}
@@ -148,14 +188,41 @@ func (b *Bits) UnmarshalBinary(data []byte) error {
 		return errors.New("bitset: bad magic")
 	}
 	n := binary.LittleEndian.Uint64(data[4:12])
+	// Bound n before any length arithmetic: (n+63)/64 wraps for n near
+	// 2^64, which would make a 12-byte payload decode as a vector claiming
+	// 2^64-1 bits and panic the first Test. The payload length field is
+	// authoritative and already in hand, so derive the bound from it.
+	maxBits := uint64(len(data)-12) * 8
+	if n > maxBits {
+		return fmt.Errorf("bitset: declared %d bits exceeds %d payload bits", n, maxBits)
+	}
 	nw := int((n + 63) / 64)
 	if len(data) != 12+nw*8 {
 		return fmt.Errorf("bitset: want %d payload bytes, have %d", nw*8, len(data)-12)
 	}
 	b.n = n
+	if words, ok := borrowWords(data[12:], nw, borrow); ok {
+		b.words = words
+		b.borrowed = true
+		return nil
+	}
+	b.borrowed = false
 	b.words = make([]uint64, nw)
 	for i := range b.words {
 		b.words[i] = binary.LittleEndian.Uint64(data[12+i*8:])
 	}
 	return nil
+}
+
+// Borrowed reports whether the vector currently aliases caller-provided
+// memory (zero-copy load, no mutation yet).
+func (b *Bits) Borrowed() bool { return b.borrowed }
+
+// materialize copies a borrowed payload into owned memory so it can be
+// mutated without touching (or racing on) the snapshot buffer.
+func (b *Bits) materialize() {
+	owned := make([]uint64, len(b.words))
+	copy(owned, b.words)
+	b.words = owned
+	b.borrowed = false
 }

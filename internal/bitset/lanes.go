@@ -15,6 +15,9 @@ type Lanes struct {
 	n     uint64
 	width uint
 	mask  uint64
+	// borrowed is true while words aliases caller-provided memory (see
+	// UnmarshalBinaryBorrow); the first Set copies and clears it.
+	borrowed bool
 }
 
 // NewLanes returns a lane array with n entries of the given bit width,
@@ -66,6 +69,9 @@ func (l *Lanes) Set(i uint64, v uint64) {
 	if i >= l.n {
 		panic(fmt.Sprintf("bitset: lane Set(%d) out of range [0,%d)", i, l.n))
 	}
+	if l.borrowed {
+		l.materialize()
+	}
 	v &= l.mask
 	bitPos := i * uint64(l.width)
 	w, off := bitPos>>6, bitPos&63
@@ -79,6 +85,11 @@ func (l *Lanes) Set(i uint64, v uint64) {
 
 // Reset zeroes every lane.
 func (l *Lanes) Reset() {
+	if l.borrowed {
+		l.words = make([]uint64, len(l.words))
+		l.borrowed = false
+		return
+	}
 	for i := range l.words {
 		l.words[i] = 0
 	}
@@ -110,8 +121,20 @@ func (l *Lanes) MarshalBinary() ([]byte, error) {
 	return out, nil
 }
 
-// UnmarshalBinary decodes a stream produced by MarshalBinary.
+// UnmarshalBinary decodes a stream produced by MarshalBinary into owned
+// memory; data is not retained.
 func (l *Lanes) UnmarshalBinary(data []byte) error {
+	return l.unmarshal(data, false)
+}
+
+// UnmarshalBinaryBorrow decodes a stream produced by MarshalBinary
+// without copying when possible; see (*Bits).UnmarshalBinaryBorrow for
+// the aliasing contract and the copy-on-first-write behavior of Set.
+func (l *Lanes) UnmarshalBinaryBorrow(data []byte) error {
+	return l.unmarshal(data, true)
+}
+
+func (l *Lanes) unmarshal(data []byte, borrow bool) error {
 	if len(data) < 16 {
 		return errors.New("bitset: truncated lanes header")
 	}
@@ -123,6 +146,13 @@ func (l *Lanes) UnmarshalBinary(data []byte) error {
 		return fmt.Errorf("bitset: invalid lane width %d", width)
 	}
 	n := binary.LittleEndian.Uint64(data[8:16])
+	// Bound n before computing n*width: the product wraps for hostile n,
+	// which would under-size words while Len() reports the huge n. The
+	// payload can hold at most 8·len bits, so that bounds n·width.
+	maxBits := uint64(len(data)-16) * 8
+	if n > maxBits/uint64(width) {
+		return fmt.Errorf("bitset: declared %d lanes of %d bits exceeds %d payload bits", n, width, maxBits)
+	}
 	nw := int((n*uint64(width) + 63) / 64)
 	if len(data) != 16+nw*8 {
 		return fmt.Errorf("bitset: want %d payload bytes, have %d", nw*8, len(data)-16)
@@ -134,9 +164,26 @@ func (l *Lanes) UnmarshalBinary(data []byte) error {
 	} else {
 		l.mask = (1 << width) - 1
 	}
+	if words, ok := borrowWords(data[16:], nw, borrow); ok {
+		l.words = words
+		l.borrowed = true
+		return nil
+	}
+	l.borrowed = false
 	l.words = make([]uint64, nw)
 	for i := range l.words {
 		l.words[i] = binary.LittleEndian.Uint64(data[16+i*8:])
 	}
 	return nil
+}
+
+// Borrowed reports whether the lane array currently aliases
+// caller-provided memory.
+func (l *Lanes) Borrowed() bool { return l.borrowed }
+
+func (l *Lanes) materialize() {
+	owned := make([]uint64, len(l.words))
+	copy(owned, l.words)
+	l.words = owned
+	l.borrowed = false
 }

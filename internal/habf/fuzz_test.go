@@ -2,6 +2,7 @@ package habf
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 )
 
@@ -23,8 +24,33 @@ func FuzzUnmarshalFilter(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("HABF"))
 	f.Add(good[:len(good)/2])
+	// Truncated just inside a block: length prefix intact, payload cut.
+	f.Add(good[:len(good)-1])
+	f.Add(good[:30])
+	// Hostile block length: 2^64-1 in the first block's length prefix —
+	// the int(uint64) narrowing regression (would wrap on 32-bit hosts).
+	k := int(good[6])
+	hugeBlock := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint64(hugeBlock[17+k:], ^uint64(0))
+	f.Add(hugeBlock)
+	// Hostile bitset length: payload sized for 0 bits but header claiming
+	// 2^64-1, which used to wrap (n+63)/64 and panic the first Test.
+	hugeBits := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint64(hugeBits[17+k+8+4:], ^uint64(0))
+	f.Add(hugeBits)
+	// Corrupted payload byte mid-bloom (no inner CRC: may decode to a
+	// different but still well-formed filter; must not panic).
+	bitrot := append([]byte(nil), good...)
+	bitrot[len(bitrot)/2] ^= 0x10
+	f.Add(bitrot)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, decode := range []func([]byte) (*Filter, error){UnmarshalFilter, UnmarshalFilterBorrow} {
+			if g, err := decode(data); err == nil {
+				g.Contains([]byte("probe"))
+				g.Contains(nil)
+			}
+		}
 		g, err := UnmarshalFilter(data)
 		if err != nil {
 			return // rejected, fine

@@ -20,6 +20,7 @@ type Filter struct {
 	k        int
 	fast     bool
 	seed     int64
+	borrowed bool // decoded via UnmarshalFilterBorrow (zero-copy load)
 	added    uint64
 	stats    Stats
 	params   Params // defaulted construction params, kept for rebuilds
@@ -288,6 +289,12 @@ func (f *Filter) FillRatio() float64 { return f.bf.FillRatio() }
 
 // Stats returns construction statistics.
 func (f *Filter) Stats() Stats { return f.stats }
+
+// Borrowed reports whether any backing array still aliases the buffer the
+// filter was decoded from (UnmarshalFilterBorrow, before any mutation).
+func (f *Filter) Borrowed() bool {
+	return f.borrowed && (f.bfBits.Borrowed() || f.he.cells.Borrowed())
+}
 
 // BuildParams returns the fully defaulted parameters this filter was
 // constructed with — the rebuild hook for serving layers that rotate

@@ -84,6 +84,15 @@ func (p Params) withDefaults() Params {
 	return p
 }
 
+// Validate checks the hashing-relevant fields (K, CellBits, SpaceRatio,
+// after defaulting) without requiring a space budget — the exported form
+// for callers that build Params from untrusted input, like a snapshot
+// restore, where TotalBits is derived later per shard.
+func (p Params) Validate() error {
+	p.TotalBits = 1024 // placeholder; budget is validated where it is set
+	return p.withDefaults().validate()
+}
+
 func (p Params) validate() error {
 	if p.TotalBits < 64 {
 		return fmt.Errorf("habf: TotalBits = %d too small", p.TotalBits)

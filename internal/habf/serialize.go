@@ -58,8 +58,35 @@ func (f *Filter) MarshalBinary() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// UnmarshalFilter decodes a filter produced by MarshalBinary.
+// WireAlignOffset returns the offset within a MarshalBinary payload of
+// the first word of the Bloom bit array, for a filter with the given k.
+// Containers that want zero-copy loads (internal/snapshot) pad their
+// frames so this offset lands 8-byte aligned in the mapped buffer; the
+// HashExpressor word array then aligns too, because the fixed framing
+// between the two arrays (bloom trailer + length prefix + lanes header)
+// is a multiple of 8 bytes.
+func WireAlignOffset(k int) int {
+	return 17 + k + 8 + 12 // header | H0 | block length | Bits header
+}
+
+// UnmarshalFilter decodes a filter produced by MarshalBinary into owned
+// memory; data is not retained.
 func UnmarshalFilter(data []byte) (*Filter, error) {
+	return unmarshalFilter(data, false)
+}
+
+// UnmarshalFilterBorrow decodes a filter produced by MarshalBinary
+// without copying the two large payloads (Bloom bits, HashExpressor
+// cells) when they are 8-byte aligned inside data: the decoded filter
+// then serves queries directly from data, which the caller must keep
+// alive and unmodified. A post-load Add copies the touched array before
+// mutating it (copy-on-first-write), so the buffer is never written.
+// Misaligned or big-endian loads silently degrade to copies.
+func UnmarshalFilterBorrow(data []byte) (*Filter, error) {
+	return unmarshalFilter(data, true)
+}
+
+func unmarshalFilter(data []byte, borrow bool) (*Filter, error) {
 	if len(data) < 17 {
 		return nil, errors.New("habf: truncated filter header")
 	}
@@ -85,14 +112,25 @@ func UnmarshalFilter(data []byte) (*Filter, error) {
 		if len(data) < off+8 {
 			return nil, errors.New("habf: truncated block length")
 		}
-		n := int(binary.LittleEndian.Uint64(data[off : off+8]))
+		// Compare in uint64 space before narrowing: int(uint64) wraps on
+		// 32-bit hosts, where a 2^32+ε length would pass a naive len check
+		// and over-slice (or under-allocate downstream).
+		n64 := binary.LittleEndian.Uint64(data[off : off+8])
 		off += 8
-		if n < 0 || len(data) < off+n {
+		if n64 > uint64(len(data)-off) {
 			return nil, errors.New("habf: truncated block")
 		}
+		n := int(n64)
 		b := data[off : off+n]
 		off += n
 		return b, nil
+	}
+
+	unmarshalBits := (*bitset.Bits).UnmarshalBinary
+	unmarshalLanes := (*bitset.Lanes).UnmarshalBinary
+	if borrow {
+		unmarshalBits = (*bitset.Bits).UnmarshalBinaryBorrow
+		unmarshalLanes = (*bitset.Lanes).UnmarshalBinaryBorrow
 	}
 
 	bloomBytes, err := readBlock()
@@ -100,7 +138,7 @@ func UnmarshalFilter(data []byte) (*Filter, error) {
 		return nil, err
 	}
 	var bfBits bitset.Bits
-	if err := bfBits.UnmarshalBinary(bloomBytes); err != nil {
+	if err := unmarshalBits(&bfBits, bloomBytes); err != nil {
 		return nil, fmt.Errorf("habf: bloom: %w", err)
 	}
 	cellBytes, err := readBlock()
@@ -108,7 +146,7 @@ func UnmarshalFilter(data []byte) (*Filter, error) {
 		return nil, err
 	}
 	var cells bitset.Lanes
-	if err := cells.UnmarshalBinary(cellBytes); err != nil {
+	if err := unmarshalLanes(&cells, cellBytes); err != nil {
 		return nil, fmt.Errorf("habf: expressor: %w", err)
 	}
 	if off != len(data) {
@@ -141,6 +179,7 @@ func UnmarshalFilter(data []byte) (*Filter, error) {
 	}
 	return &Filter{
 		bf:       &readonlyBits{bits: &bfBits},
+		borrowed: borrow,
 		bfBits:   &bfBits,
 		bloomLen: bfBits.Len(),
 		he:       he,

@@ -1,6 +1,8 @@
 package habf
 
 import (
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"testing"
 	"testing/quick"
@@ -98,6 +100,119 @@ func TestQuickSerializeStable(t *testing.T) {
 	check := func(key []byte) bool { return f.Contains(key) == g.Contains(key) }
 	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestGoldenWireFormat pins MarshalBinary output byte for byte for a
+// tiny fixed workload. If this fails the wire format drifted: shipped
+// snapshots would stop decoding, so either revert the change or bump
+// filterVersion and update this fixture deliberately.
+func TestGoldenWireFormat(t *testing.T) {
+	pos := make([][]byte, 8)
+	for i := range pos {
+		pos[i] = []byte(fmt.Sprintf("gold/%d", i))
+	}
+	neg := []WeightedKey{
+		{Key: []byte("lead/0"), Cost: 5},
+		{Key: []byte("lead/1"), Cost: 1},
+	}
+	f, err := New(pos, neg, Params{TotalBits: 512, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = "48414246010003040700000000000000030002054400000000000000010075b19a01000000000000" +
+		"11000080018002000000002084000000480000018c00000801000000000100000020000000000400" +
+		"000000000000001000000200000000002000000000000000020075b1040000001900000000000000" +
+		"00000000000000000000000000000000"
+	if got := hex.EncodeToString(data); got != want {
+		t.Errorf("wire format drifted:\n got  %s\n want %s", got, want)
+	}
+
+	// The checked-in fixture must decode and answer correctly, so format
+	// drift in the decoder breaks here too.
+	fixture, err := hex.DecodeString(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, decode := range []func([]byte) (*Filter, error){UnmarshalFilter, UnmarshalFilterBorrow} {
+		g, err := decode(fixture)
+		if err != nil {
+			t.Fatalf("golden fixture does not decode: %v", err)
+		}
+		for _, k := range pos {
+			if !g.Contains(k) {
+				t.Fatalf("golden fixture lost member %q", k)
+			}
+		}
+	}
+}
+
+func TestBorrowRoundtripMatchesCopy(t *testing.T) {
+	f, pos, _ := buildForSerde(t, false)
+	data, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := UnmarshalFilterBorrow(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range pos {
+		if !g.Contains(k) {
+			t.Fatalf("borrowed filter lost member %q", k)
+		}
+	}
+	for i := 0; i < 3000; i++ {
+		probe := []byte(fmt.Sprintf("probe-%d", i))
+		if f.Contains(probe) != g.Contains(probe) {
+			t.Fatalf("borrowed filter disagrees on %q", probe)
+		}
+	}
+	// A borrowed filter must survive Add via copy-on-write, leaving the
+	// source bytes untouched.
+	before := append([]byte(nil), data...)
+	g.Add([]byte("post-load"))
+	if !g.Contains([]byte("post-load")) {
+		t.Fatal("borrowed filter lost added key")
+	}
+	if string(before) != string(data) {
+		t.Fatal("Add on a borrowed filter mutated the source buffer")
+	}
+	for _, k := range pos {
+		if !g.Contains(k) {
+			t.Fatalf("member %q lost after copy-on-write", k)
+		}
+	}
+}
+
+// Regression for the int(uint64) narrowing on block lengths: a length
+// field near 2^64 (or, on 32-bit hosts, just above 2^31) must be
+// rejected by a 64-bit compare before any slicing or allocation.
+func TestUnmarshalBlockLengthOverflow(t *testing.T) {
+	f, _, _ := buildForSerde(t, false)
+	good, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := int(good[6])
+	blockLenOff := 17 + k // first block's u64 length prefix
+	for _, n := range []uint64{^uint64(0), 1 << 63, 1<<32 + 1, uint64(len(good))} {
+		bad := append([]byte(nil), good...)
+		binary.LittleEndian.PutUint64(bad[blockLenOff:], n)
+		if _, err := UnmarshalFilter(bad); err == nil {
+			t.Errorf("block length %d accepted", n)
+		}
+	}
+	// Hostile length inside the bitset payload header as well: declared
+	// bit count far beyond the payload.
+	bad := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint64(bad[blockLenOff+8+4:], ^uint64(0)) // Bits.n field
+	if _, err := UnmarshalFilter(bad); err == nil {
+		t.Error("hostile bitset bit count accepted")
 	}
 }
 

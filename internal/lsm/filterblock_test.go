@@ -1,0 +1,197 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	habf "repro"
+	ihabf "repro/internal/habf"
+)
+
+// habfCodec persists run guards as HABF wire-format blocks and decodes
+// them zero-copy, the way a table reader maps an SSTable's filter block.
+func habfCodec() *FilterCodec {
+	return &FilterCodec{
+		Encode: func(f Filter) ([]byte, error) {
+			return f.(*habf.HABF).MarshalBinary()
+		},
+		Decode: func(block []byte) (Filter, error) {
+			return habf.UnmarshalHABFBorrow(block)
+		},
+		// block[6] is k in the filter wire header; aligning the bloom
+		// word array keeps reloads zero-copy for any k.
+		Align: func(block []byte) int {
+			return ihabf.WireAlignOffset(int(block[6]))
+		},
+	}
+}
+
+func habfBuilder(t testing.TB, opts ...habf.Option) FilterBuilder {
+	return func(keys [][]byte, level int) Filter {
+		f, err := habf.New(keys, nil, uint64(12*len(keys)), opts...)
+		if err != nil {
+			t.Fatalf("guard build at level %d: %v", level, err)
+		}
+		return f
+	}
+}
+
+func TestFilterBlocksServeReads(t *testing.T) {
+	s := New(Config{MemtableSize: 128, NewFilter: habfBuilder(t), Codec: habfCodec()})
+	put(s, 2000, "fb")
+	s.Flush()
+	for i := 0; i < 2000; i++ {
+		key := []byte(fmt.Sprintf("fb/%06d", i))
+		if _, ok := s.Get(key); !ok {
+			t.Fatalf("lost key %q behind codec-decoded guards", key)
+		}
+	}
+	st := s.Stats()
+	if st.FilterBlockBytes == 0 {
+		t.Fatal("no filter block bytes reported with a codec configured")
+	}
+	// Misses must still be screened by the block-decoded guards.
+	s.ResetStats()
+	for i := 0; i < 2000; i++ {
+		s.Get([]byte(fmt.Sprintf("absent/%06d", i)))
+	}
+	st = s.Stats()
+	var rejects uint64
+	for _, r := range st.FilterRejects {
+		rejects += r
+	}
+	if rejects == 0 {
+		t.Fatal("block-decoded guards rejected nothing")
+	}
+}
+
+func TestSaveLoadFilterBlocks(t *testing.T) {
+	s := New(Config{MemtableSize: 128, NewFilter: habfBuilder(t), Codec: habfCodec()})
+	put(s, 3000, "blk")
+	s.Flush()
+
+	var buf bytes.Buffer
+	if err := s.SaveFilterBlocks(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate reopening: drop every guard, then re-attach from the
+	// container. No filter is rebuilt.
+	for _, r := range s.runs() {
+		r.guard = nil
+		r.filterBlock = nil
+	}
+	if err := s.LoadFilterBlocks(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		key := []byte(fmt.Sprintf("blk/%06d", i))
+		if _, ok := s.Get(key); !ok {
+			t.Fatalf("lost key %q after filter-block reload", key)
+		}
+	}
+	s.ResetStats()
+	for i := 0; i < 1000; i++ {
+		s.Get([]byte(fmt.Sprintf("missing/%06d", i)))
+	}
+	var rejects uint64
+	for _, r := range s.Stats().FilterRejects {
+		rejects += r
+	}
+	if rejects == 0 {
+		t.Fatal("reloaded guards rejected nothing")
+	}
+}
+
+// Regression: without the codec's Align hook, the container aligned
+// block starts only, so any k with 37+k ≢ 0 (mod 8) — every non-default
+// K — silently lost the zero-copy reload and decoded by copying.
+func TestReloadedFilterBlocksAreZeroCopy(t *testing.T) {
+	for _, k := range []int{3, 4} {
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			s := New(Config{
+				MemtableSize: 128,
+				NewFilter:    habfBuilder(t, habf.WithK(k)),
+				Codec:        habfCodec(),
+			})
+			put(s, 1000, "zc")
+			s.Flush()
+			var buf bytes.Buffer
+			if err := s.SaveFilterBlocks(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.LoadFilterBlocks(buf.Bytes()); err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range s.runs() {
+				if r.guard == nil {
+					continue
+				}
+				if !r.guard.(*habf.HABF).Borrowed() {
+					t.Fatalf("k=%d: reloaded guard copied instead of aliasing the container", k)
+				}
+			}
+		})
+	}
+}
+
+func TestLoadFilterBlocksRejectsMismatch(t *testing.T) {
+	s := New(Config{MemtableSize: 128, NewFilter: habfBuilder(t), Codec: habfCodec()})
+	put(s, 500, "a")
+	s.Flush()
+	var buf bytes.Buffer
+	if err := s.SaveFilterBlocks(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// A store with a different topology must refuse the container.
+	other := New(Config{MemtableSize: 64, NewFilter: habfBuilder(t), Codec: habfCodec()})
+	put(other, 500, "a")
+	other.Flush()
+	if len(other.runs()) == len(s.runs()) {
+		t.Skip("topologies coincide; mismatch case not exercised")
+	}
+	if err := other.LoadFilterBlocks(buf.Bytes()); err == nil {
+		t.Fatal("mismatched topology accepted")
+	}
+
+	// Corruption must be caught by the container checksums.
+	bad := append([]byte(nil), buf.Bytes()...)
+	bad[len(bad)/2] ^= 0x01
+	if err := s.LoadFilterBlocks(bad); err == nil {
+		t.Fatal("corrupt filter-block container accepted")
+	}
+}
+
+// A filter-block container fed to the sharded-set loader (or vice
+// versa) must fail on the kind discriminator, not silently restore a
+// wrongly-routed filter.
+func TestContainerKindsDoNotCrossLoad(t *testing.T) {
+	s := New(Config{MemtableSize: 128, NewFilter: habfBuilder(t), Codec: habfCodec()})
+	put(s, 600, "kind")
+	s.Flush()
+	var buf bytes.Buffer
+	if err := s.SaveFilterBlocks(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := habf.Load(buf.Bytes()); err == nil {
+		t.Fatal("habf.Load accepted an LSM filter-block container")
+	}
+
+	pos := make([][]byte, 600)
+	for i := range pos {
+		pos[i] = []byte(fmt.Sprintf("set-%04d", i))
+	}
+	set, err := habf.NewSharded(pos, nil, 600*12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var setBuf bytes.Buffer
+	if err := set.Save(&setBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadFilterBlocks(setBuf.Bytes()); err == nil {
+		t.Fatal("LoadFilterBlocks accepted a sharded-set snapshot")
+	}
+}

@@ -64,6 +64,8 @@ type Set struct {
 	shift       uint // route = hash >> shift
 	routeSeed   uint64
 	threshold   float64
+	baseParams  habf.Params // construction template with the base seed
+	bitsPerKey  float64
 	rebuilds    atomic.Uint64
 	rebuildErrs atomic.Uint64
 	rebuildWG   sync.WaitGroup
@@ -71,6 +73,12 @@ type Set struct {
 
 type shard struct {
 	set *Set
+
+	// epoch counts mutations to the shard's serving state (Add, rebuild
+	// swap). Snapshot records it per frame, so a frame is a consistent
+	// image of its shard "as of epoch E". Incremented under mu's write
+	// side; atomic so Stats can read it lock-free.
+	epoch atomic.Uint64
 
 	// mu guards every mutable field below. Readers (Contains) take the
 	// read side; Add and the rebuild swap take the write side.
@@ -80,6 +88,10 @@ type shard struct {
 	negatives  []habf.WeightedKey
 	baseline   int // len(positives) at the last (re)build
 	rebuilding bool
+	// restored marks a shard whose filter came from a snapshot: its
+	// pre-snapshot key list is unknown, so a drift rebuild (which
+	// reconstructs from positives) would lose keys and is disabled.
+	restored   bool
 	bitsPerKey float64
 	params     habf.Params // template; TotalBits set per build
 }
@@ -117,10 +129,12 @@ func New(positives [][]byte, negatives []habf.WeightedKey, cfg Config) (*Set, er
 	}
 
 	s := &Set{
-		shards:    make([]*shard, n),
-		shift:     uint(64 - bits.TrailingZeros(uint(n))),
-		routeSeed: uint64(params.Seed)*0x2545f4914f6cdd1d + 0x9e3779b97f4a7c15,
-		threshold: threshold,
+		shards:     make([]*shard, n),
+		shift:      uint(64 - bits.TrailingZeros(uint(n))),
+		routeSeed:  uint64(params.Seed)*0x2545f4914f6cdd1d + 0x9e3779b97f4a7c15,
+		threshold:  threshold,
+		baseParams: params,
+		bitsPerKey: float64(cfg.TotalBits) / float64(len(positives)),
 	}
 
 	// Partition by fingerprint prefix.
@@ -135,7 +149,7 @@ func New(positives [][]byte, negatives []habf.WeightedKey, cfg Config) (*Set, er
 		negByShard[id] = append(negByShard[id], wk)
 	}
 
-	bitsPerKey := float64(cfg.TotalBits) / float64(len(positives))
+	bitsPerKey := s.bitsPerKey
 	for i := range s.shards {
 		p := params
 		p.Seed = perturbSeed(params.Seed, i)
@@ -280,6 +294,7 @@ func (s *Set) Add(key []byte) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	sh.positives = append(sh.positives, key)
+	sh.epoch.Add(1)
 	if sh.f == nil {
 		// First key(s) ever routed here: build inline over everything
 		// accumulated so far (rare, tiny). Construction cannot fail —
@@ -296,7 +311,7 @@ func (s *Set) Add(key []byte) {
 		return
 	}
 	sh.f.Add(key)
-	if s.threshold > 0 && !sh.rebuilding &&
+	if s.threshold > 0 && !sh.rebuilding && !sh.restored &&
 		float64(sh.f.AddedKeys()) >= s.threshold*float64(sh.baseline) {
 		sh.rebuilding = true
 		s.rebuildWG.Add(1)
@@ -332,6 +347,7 @@ func (sh *shard) rebuild() {
 	}
 	sh.f = f
 	sh.baseline = len(sh.positives)
+	sh.epoch.Add(1)
 	sh.set.rebuilds.Add(1)
 }
 
@@ -373,6 +389,10 @@ type Stats struct {
 	Rebuilds      uint64 // background rebuilds completed
 	RebuildErrors uint64
 	SizeBits      uint64
+	// Restored counts shards serving a snapshot-restored filter. Those
+	// shards do not auto-rebuild on drift (their pre-snapshot key list is
+	// not in memory); rotate them with a full rebuild when Added grows.
+	Restored int
 }
 
 // Stats snapshots the set. Shards are sampled one at a time, so totals
@@ -386,6 +406,9 @@ func (s *Set) Stats() Stats {
 	for _, sh := range s.shards {
 		sh.mu.RLock()
 		st.Keys += uint64(len(sh.positives))
+		if sh.restored {
+			st.Restored++
+		}
 		if sh.f != nil {
 			st.Added += sh.f.AddedKeys()
 			st.SizeBits += sh.f.SizeBits()

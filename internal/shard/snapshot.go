@@ -1,0 +1,177 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+
+	"repro/internal/habf"
+	"repro/internal/snapshot"
+)
+
+// Snapshot captures the set's serving state as a container (see
+// internal/snapshot): one checksummed frame per shard wrapping the
+// shard filter's wire format, stamped with the shard's mutation epoch.
+//
+// Snapshot coexists with live traffic: each shard is marshaled under its
+// read lock, so concurrent readers are never blocked anywhere, writers
+// stall only on the one shard currently being framed (for the length of
+// one memcpy-speed marshal), and an in-flight background rebuild simply
+// lands before or after that shard's frame. Every frame is therefore an
+// atomic image of its shard at the recorded epoch, and the snapshot
+// contains every key whose Add returned before Snapshot began; keys
+// added concurrently with Snapshot land in the frames written after
+// their shard's marshal and may or may not be captured.
+func (s *Set) Snapshot() (*snapshot.Snapshot, error) {
+	snap := &snapshot.Snapshot{
+		Meta:   s.snapshotMeta(),
+		Frames: make([]snapshot.Frame, len(s.shards)),
+	}
+	for i := range s.shards {
+		fr, err := s.marshalShard(i)
+		if err != nil {
+			return nil, err
+		}
+		snap.Frames[i] = fr
+	}
+	return snap, nil
+}
+
+// WriteSnapshot streams a snapshot to w one shard at a time, so peak
+// memory overhead is bounded by the largest single shard's wire size
+// rather than the whole set's — the form Save uses for multi-GB filters.
+// Concurrency semantics are identical to Snapshot.
+func (s *Set) WriteSnapshot(w io.Writer) error {
+	sw, err := snapshot.NewWriter(w, s.snapshotMeta(), len(s.shards))
+	if err != nil {
+		return err
+	}
+	for i := range s.shards {
+		fr, err := s.marshalShard(i)
+		if err != nil {
+			return err
+		}
+		if err := sw.WriteFrame(fr); err != nil {
+			return err
+		}
+	}
+	return sw.Close()
+}
+
+func (s *Set) snapshotMeta() snapshot.Meta {
+	return snapshot.Meta{
+		Kind:                  snapshot.KindShardedSet,
+		BaseSeed:              s.baseParams.Seed,
+		RouteSeed:             s.routeSeed,
+		K:                     s.baseParams.K,
+		CellBits:              s.baseParams.CellBits,
+		Fast:                  s.baseParams.Fast,
+		DisableGamma:          s.baseParams.DisableGamma,
+		DisableOverlapRanking: s.baseParams.DisableOverlapRanking,
+		DisableCostOrdering:   s.baseParams.DisableCostOrdering,
+		SpaceRatio:            s.baseParams.SpaceRatio,
+		BitsPerKey:            s.bitsPerKey,
+		Threshold:             s.threshold,
+	}
+}
+
+// marshalShard frames shard i under its read lock.
+func (s *Set) marshalShard(i int) (snapshot.Frame, error) {
+	sh := s.shards[i]
+	sh.mu.RLock()
+	fr := snapshot.Frame{Epoch: sh.epoch.Load()}
+	var err error
+	if sh.f != nil {
+		fr.Payload, err = sh.f.MarshalBinary()
+		fr.Align = habf.WireAlignOffset(sh.f.K())
+	}
+	sh.mu.RUnlock()
+	if err != nil {
+		return snapshot.Frame{}, fmt.Errorf("shard %d: %w", i, err)
+	}
+	return fr, nil
+}
+
+// Restore rebuilds a Set from a decoded snapshot without copying filter
+// payloads: every shard filter is decoded in borrow mode and serves
+// queries directly from the snapshot's backing buffer, so the caller
+// must keep that buffer alive and unmodified for the life of the Set. A
+// post-restore Add copies the touched shard's arrays before mutating
+// them (copy-on-first-write); the buffer itself is never written.
+//
+// Restored shards accept Adds but do not auto-rebuild on drift — the key
+// list behind a restored filter is not in memory, so a drift rebuild
+// would forget it. Shards that were empty at save time behave exactly
+// like freshly built ones.
+func Restore(snap *snapshot.Snapshot) (*Set, error) {
+	if snap.Meta.Kind != snapshot.KindShardedSet {
+		return nil, fmt.Errorf("shard: container kind %d is not a sharded-set snapshot", snap.Meta.Kind)
+	}
+	n := len(snap.Frames)
+	if n == 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("shard: snapshot shard count %d is not a power of two", n)
+	}
+	// The container CRC catches bit-rot, not a hostile writer: the float
+	// meta fields feed size computations on the lazy-build path (an Add
+	// routed to an empty restored shard), where an absurd BitsPerKey
+	// would turn into a make() of 2^60+ words. Bound them here so a
+	// crafted snapshot fails loudly at Restore, never panics later.
+	const maxBitsPerKey = 1 << 20 // 128 KiB per key is already absurd
+	if m := snap.Meta; math.IsNaN(m.BitsPerKey) || m.BitsPerKey < 0 || m.BitsPerKey > maxBitsPerKey {
+		return nil, fmt.Errorf("shard: snapshot bits-per-key %v out of range [0,%d]", m.BitsPerKey, int(maxBitsPerKey))
+	} else if m.SpaceRatio != 0 && !(m.SpaceRatio > 0 && m.SpaceRatio < 1) {
+		// NaN fails both comparisons and lands here too.
+		return nil, fmt.Errorf("shard: snapshot space ratio %v out of range (0,1)", m.SpaceRatio)
+	} else if math.IsNaN(m.Threshold) || math.IsInf(m.Threshold, 0) {
+		return nil, fmt.Errorf("shard: snapshot rebuild threshold %v is not finite", m.Threshold)
+	}
+	base := habf.Params{
+		K:                     snap.Meta.K,
+		CellBits:              snap.Meta.CellBits,
+		Seed:                  snap.Meta.BaseSeed,
+		SpaceRatio:            snap.Meta.SpaceRatio,
+		Fast:                  snap.Meta.Fast,
+		DisableGamma:          snap.Meta.DisableGamma,
+		DisableOverlapRanking: snap.Meta.DisableOverlapRanking,
+		DisableCostOrdering:   snap.Meta.DisableCostOrdering,
+	}
+	if base.Seed == 0 {
+		base.Seed = 1
+	}
+	// Same trust boundary as the float bounds above: K and CellBits feed
+	// the lazy-build path, where habf.New's failure has no error channel
+	// back to the caller (the Add would be silently dropped). Reject the
+	// template here instead.
+	if err := base.Validate(); err != nil {
+		return nil, fmt.Errorf("shard: snapshot params: %w", err)
+	}
+	s := &Set{
+		shards:     make([]*shard, n),
+		shift:      uint(64 - bits.TrailingZeros(uint(n))),
+		routeSeed:  snap.Meta.RouteSeed,
+		threshold:  snap.Meta.Threshold,
+		baseParams: base,
+		bitsPerKey: snap.Meta.BitsPerKey,
+	}
+	for i, fr := range snap.Frames {
+		p := base
+		p.Seed = perturbSeed(base.Seed, i)
+		sh := &shard{
+			set:        s,
+			bitsPerKey: snap.Meta.BitsPerKey,
+			params:     p,
+		}
+		if len(fr.Payload) > 0 {
+			f, err := habf.UnmarshalFilterBorrow(fr.Payload)
+			if err != nil {
+				return nil, fmt.Errorf("shard %d: %w", i, err)
+			}
+			sh.f = f
+			sh.restored = true
+		}
+		sh.epoch.Store(fr.Epoch)
+		s.shards[i] = sh
+	}
+	return s, nil
+}

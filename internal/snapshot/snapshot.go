@@ -1,0 +1,358 @@
+// Package snapshot defines the on-disk container that persists a sharded
+// filter: a versioned, checksummed envelope around the per-filter wire
+// format of internal/habf, so a serving layer can checkpoint its read
+// path and restore it after a restart without paying reconstruction.
+//
+// Layout (all integers little-endian):
+//
+//	header (64 bytes):
+//	  magic u32 "HSNP" | version u8 | flags u8 | k u8 | cellBits u8 |
+//	  baseSeed u64 | routeSeed u64 | spaceRatio f64 | bitsPerKey f64 |
+//	  threshold f64 | kind u8 | reserved u8×3 | shardCount u32 |
+//	  reserved u32 | headerCRC u32 (CRC32C of the 60 bytes above)
+//	frames (shardCount, in shard order):
+//	  epoch u64 | payloadLen u64 | payloadCRC u32 (CRC32C) | padLen u32 |
+//	  padLen zero bytes | payload
+//	footer:
+//	  offset table: shardCount × u64 (file offset of each frame header) |
+//	  indexOff u64 | footerCRC u32 (CRC32C of table + indexOff) |
+//	  tail magic u32 "PNSH"
+//
+// The per-frame pad exists for zero-copy loads: the writer shifts each
+// payload so the word arrays inside it land 8-byte aligned in the file
+// (Frame.Align names the payload offset that must align), letting the
+// decoder alias the mapped buffer instead of copying it. The footer makes
+// the container seekable from the tail — a reader can locate every frame
+// with three fixed-size reads — and doubles as a truncation check: a file
+// cut anywhere loses the tail magic.
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+const (
+	// Version is the current container format version.
+	Version = 1
+
+	magic     = uint32(0x504e5348) // "HSNP" little-endian
+	tailMagic = uint32(0x48534e50) // "PNSH" little-endian
+
+	headerSize   = 64
+	frameHdrSize = 24
+	footerSize   = 16 // indexOff + footerCRC + tail magic
+)
+
+// Kind discriminates what a container holds, so a file of one kind fed
+// to another kind's loader fails loudly at decode instead of producing
+// a structure that routes wrong (e.g. an LSM filter-block container
+// restored as a sharded set would answer false negatives).
+const (
+	// KindShardedSet is a sharded filter checkpoint (one frame per shard).
+	KindShardedSet uint8 = 1
+	// KindFilterBlocks is an LSM filter-block checkpoint (one frame per run).
+	KindFilterBlocks uint8 = 2
+)
+
+// Meta flags (header byte 5).
+const (
+	flagFast = 1 << iota
+	flagDisableGamma
+	flagDisableOverlapRanking
+	flagDisableCostOrdering
+)
+
+// castagnoli is the CRC32C polynomial table, the checksum of choice for
+// storage formats (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Meta carries the set-level configuration a restore needs beyond the
+// per-shard filter payloads: how keys route to shards and how shards that
+// were empty at save time should build their first filter.
+type Meta struct {
+	Kind                  uint8  // container content type (Kind* constants)
+	BaseSeed              int64  // params seed the per-shard seeds derive from
+	RouteSeed             uint64 // seed of the shard-routing fingerprint
+	K                     int    // per-key hash budget of the shard template
+	CellBits              uint   // HashExpressor cell width of the template
+	Fast                  bool   // f-HABF shards
+	DisableGamma          bool   // ablation switches of the template
+	DisableOverlapRanking bool
+	DisableCostOrdering   bool
+	SpaceRatio            float64 // Δ split of the template
+	BitsPerKey            float64 // budget for shards built after restore
+	Threshold             float64 // rebuild threshold (negative = disabled)
+}
+
+// Frame is one shard's checkpoint: the filter's MarshalBinary payload
+// (empty for a shard that had no filter) and the shard's mutation epoch
+// at marshal time.
+type Frame struct {
+	Epoch   uint64
+	Payload []byte
+	// Align is the offset within Payload that the writer places 8-byte
+	// aligned in the container (habf.WireAlignOffset of the filter's k).
+	// It is not stored; decoded frames leave it zero.
+	Align int
+}
+
+// Snapshot is a decoded (or to-be-written) container.
+type Snapshot struct {
+	Meta   Meta
+	Frames []Frame
+}
+
+// Writer streams a container one frame at a time, so a multi-GB
+// snapshot never has to be materialized in memory: the caller marshals
+// one shard, hands the frame over, and releases it before the next.
+// Usage: NewWriter (writes the header), shardCount × WriteFrame, Close
+// (writes the footer).
+type Writer struct {
+	w       io.Writer
+	written int64
+	want    int
+	offsets []uint64
+	closed  bool
+}
+
+// NewWriter writes the container header and returns a Writer expecting
+// exactly shardCount frames.
+func NewWriter(w io.Writer, meta Meta, shardCount int) (*Writer, error) {
+	if shardCount == 0 {
+		return nil, errors.New("snapshot: no frames")
+	}
+	if meta.Kind != KindShardedSet && meta.Kind != KindFilterBlocks {
+		return nil, fmt.Errorf("snapshot: unknown container kind %d", meta.Kind)
+	}
+	sw := &Writer{w: w, want: shardCount, offsets: make([]uint64, 0, shardCount)}
+
+	var head [headerSize]byte
+	binary.LittleEndian.PutUint32(head[0:4], magic)
+	head[4] = Version
+	var flags byte
+	if meta.Fast {
+		flags |= flagFast
+	}
+	if meta.DisableGamma {
+		flags |= flagDisableGamma
+	}
+	if meta.DisableOverlapRanking {
+		flags |= flagDisableOverlapRanking
+	}
+	if meta.DisableCostOrdering {
+		flags |= flagDisableCostOrdering
+	}
+	head[5] = flags
+	head[6] = uint8(meta.K)
+	head[7] = uint8(meta.CellBits)
+	binary.LittleEndian.PutUint64(head[8:16], uint64(meta.BaseSeed))
+	binary.LittleEndian.PutUint64(head[16:24], meta.RouteSeed)
+	putFloat(head[24:32], meta.SpaceRatio)
+	putFloat(head[32:40], meta.BitsPerKey)
+	putFloat(head[40:48], meta.Threshold)
+	head[48] = meta.Kind
+	// head[49:52] and head[56:60] reserved, zero, CRC-covered.
+	binary.LittleEndian.PutUint32(head[52:56], uint32(shardCount))
+	binary.LittleEndian.PutUint32(head[60:64], crc32.Checksum(head[:60], castagnoli))
+	if err := sw.emit(head[:]); err != nil {
+		return nil, err
+	}
+	return sw, nil
+}
+
+func (sw *Writer) emit(b []byte) error {
+	n, err := sw.w.Write(b)
+	sw.written += int64(n)
+	return err
+}
+
+// WriteFrame appends one shard's frame. The payload is not retained.
+func (sw *Writer) WriteFrame(fr Frame) error {
+	if len(sw.offsets) >= sw.want {
+		return fmt.Errorf("snapshot: more than %d frames written", sw.want)
+	}
+	sw.offsets = append(sw.offsets, uint64(sw.written))
+	// Place the frame so Payload[Align] lands on an 8-byte boundary.
+	payloadOff := sw.written + frameHdrSize
+	padLen := int((8 - (payloadOff+int64(fr.Align))%8) % 8)
+	var hdr [frameHdrSize]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], fr.Epoch)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(fr.Payload)))
+	binary.LittleEndian.PutUint32(hdr[16:20], crc32.Checksum(fr.Payload, castagnoli))
+	binary.LittleEndian.PutUint32(hdr[20:24], uint32(padLen))
+	if err := sw.emit(hdr[:]); err != nil {
+		return err
+	}
+	var pad [8]byte
+	if err := sw.emit(pad[:padLen]); err != nil {
+		return err
+	}
+	return sw.emit(fr.Payload)
+}
+
+// Close writes the footer (offset table, CRC, tail magic). It fails if
+// fewer frames were written than NewWriter promised.
+func (sw *Writer) Close() error {
+	if sw.closed {
+		return errors.New("snapshot: writer already closed")
+	}
+	if len(sw.offsets) != sw.want {
+		return fmt.Errorf("snapshot: wrote %d of %d frames", len(sw.offsets), sw.want)
+	}
+	sw.closed = true
+	indexOff := uint64(sw.written)
+	table := make([]byte, len(sw.offsets)*8+8)
+	for i, off := range sw.offsets {
+		binary.LittleEndian.PutUint64(table[i*8:], off)
+	}
+	binary.LittleEndian.PutUint64(table[len(sw.offsets)*8:], indexOff)
+	var tail [8]byte
+	binary.LittleEndian.PutUint32(tail[0:4], crc32.Checksum(table, castagnoli))
+	binary.LittleEndian.PutUint32(tail[4:8], tailMagic)
+	if err := sw.emit(table); err != nil {
+		return err
+	}
+	return sw.emit(tail[:])
+}
+
+// Written returns the bytes written so far.
+func (sw *Writer) Written() int64 { return sw.written }
+
+// WriteTo writes the container. It implements io.WriterTo. Prefer the
+// streaming Writer when frames are produced one at a time; WriteTo is
+// the convenience form for an already-materialized Snapshot and emits
+// identical bytes.
+func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
+	sw, err := NewWriter(w, s.Meta, len(s.Frames))
+	if err != nil {
+		return 0, err
+	}
+	for _, fr := range s.Frames {
+		if err := sw.WriteFrame(fr); err != nil {
+			return sw.Written(), err
+		}
+	}
+	if err := sw.Close(); err != nil {
+		return sw.Written(), err
+	}
+	return sw.Written(), nil
+}
+
+// MarshalBinary encodes the container into one byte slice.
+func (s *Snapshot) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal decodes a container. Frame payloads alias data (zero-copy):
+// the caller must keep data alive and unmodified while any structure
+// decoded from the frames is in use. Every length is validated against
+// len(data) before use and every checksum is verified, so hostile input
+// is rejected with an error — never a panic or an unbounded allocation.
+func Unmarshal(data []byte) (*Snapshot, error) {
+	if len(data) < headerSize+footerSize {
+		return nil, errors.New("snapshot: truncated container")
+	}
+	if binary.LittleEndian.Uint32(data[0:4]) != magic {
+		return nil, errors.New("snapshot: bad magic")
+	}
+	if data[4] != Version {
+		return nil, fmt.Errorf("snapshot: unsupported version %d", data[4])
+	}
+	if got, want := crc32.Checksum(data[:60], castagnoli), binary.LittleEndian.Uint32(data[60:64]); got != want {
+		return nil, fmt.Errorf("snapshot: header CRC mismatch (%08x != %08x)", got, want)
+	}
+	kind := data[48]
+	if kind != KindShardedSet && kind != KindFilterBlocks {
+		return nil, fmt.Errorf("snapshot: unknown container kind %d", kind)
+	}
+	flags := data[5]
+	s := &Snapshot{Meta: Meta{
+		Kind:                  kind,
+		K:                     int(data[6]),
+		CellBits:              uint(data[7]),
+		Fast:                  flags&flagFast != 0,
+		DisableGamma:          flags&flagDisableGamma != 0,
+		DisableOverlapRanking: flags&flagDisableOverlapRanking != 0,
+		DisableCostOrdering:   flags&flagDisableCostOrdering != 0,
+		BaseSeed:              int64(binary.LittleEndian.Uint64(data[8:16])),
+		RouteSeed:             binary.LittleEndian.Uint64(data[16:24]),
+		SpaceRatio:            getFloat(data[24:32]),
+		BitsPerKey:            getFloat(data[32:40]),
+		Threshold:             getFloat(data[40:48]),
+	}}
+
+	shardCount := binary.LittleEndian.Uint32(data[52:56])
+	// Each frame costs at least a header and each table entry 8 bytes, so
+	// the byte length bounds the plausible shard count — reject before
+	// allocating the frames slice.
+	if shardCount == 0 || uint64(shardCount) > uint64(len(data))/frameHdrSize {
+		return nil, fmt.Errorf("snapshot: implausible shard count %d for %d bytes", shardCount, len(data))
+	}
+
+	if binary.LittleEndian.Uint32(data[len(data)-4:]) != tailMagic {
+		return nil, errors.New("snapshot: missing tail magic (truncated?)")
+	}
+	indexOff64 := binary.LittleEndian.Uint64(data[len(data)-16 : len(data)-8])
+	tableLen := uint64(shardCount)*8 + 8
+	if indexOff64 < headerSize || indexOff64 > uint64(len(data)-footerSize) ||
+		uint64(len(data)-footerSize)-indexOff64+8 != tableLen {
+		return nil, errors.New("snapshot: footer offset table out of bounds")
+	}
+	indexOff := int(indexOff64)
+	table := data[indexOff : len(data)-8]
+	if got, want := crc32.Checksum(table, castagnoli), binary.LittleEndian.Uint32(data[len(data)-8:len(data)-4]); got != want {
+		return nil, fmt.Errorf("snapshot: footer CRC mismatch (%08x != %08x)", got, want)
+	}
+
+	s.Frames = make([]Frame, shardCount)
+	prevEnd := uint64(headerSize)
+	for i := range s.Frames {
+		off := binary.LittleEndian.Uint64(table[i*8:])
+		if off != prevEnd {
+			return nil, fmt.Errorf("snapshot: frame %d offset %d does not follow previous frame (want %d)", i, off, prevEnd)
+		}
+		if off+frameHdrSize > indexOff64 {
+			return nil, fmt.Errorf("snapshot: frame %d header out of bounds", i)
+		}
+		hdr := data[off : off+frameHdrSize]
+		epoch := binary.LittleEndian.Uint64(hdr[0:8])
+		payloadLen := binary.LittleEndian.Uint64(hdr[8:16])
+		wantCRC := binary.LittleEndian.Uint32(hdr[16:20])
+		padLen := binary.LittleEndian.Uint32(hdr[20:24])
+		if padLen >= 8 {
+			return nil, fmt.Errorf("snapshot: frame %d pad %d out of range", i, padLen)
+		}
+		start := off + frameHdrSize + uint64(padLen)
+		if start > indexOff64 || payloadLen > indexOff64-start {
+			return nil, fmt.Errorf("snapshot: frame %d payload out of bounds", i)
+		}
+		payload := data[start : start+payloadLen]
+		if got := crc32.Checksum(payload, castagnoli); got != wantCRC {
+			return nil, fmt.Errorf("snapshot: frame %d CRC mismatch (%08x != %08x)", i, got, wantCRC)
+		}
+		s.Frames[i] = Frame{Epoch: epoch, Payload: payload}
+		prevEnd = start + payloadLen
+	}
+	if prevEnd != indexOff64 {
+		return nil, errors.New("snapshot: trailing bytes between frames and footer")
+	}
+	return s, nil
+}
+
+func putFloat(b []byte, f float64) {
+	binary.LittleEndian.PutUint64(b, math.Float64bits(f))
+}
+
+func getFloat(b []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}

@@ -1,9 +1,14 @@
 package habf
 
 import (
+	"bufio"
 	"fmt"
+	"io"
+	"os"
+	"path/filepath"
 
 	"repro/internal/shard"
+	"repro/internal/snapshot"
 )
 
 // Sharded is an HABF partitioned across N independent shards by
@@ -103,3 +108,115 @@ type ShardStats = shard.Stats
 
 // Stats snapshots per-shard totals (keys, pending Adds, rebuilds, size).
 func (s *Sharded) Stats() ShardStats { return s.set.Stats() }
+
+// Save writes a snapshot of the filter's serving state to w: a
+// versioned, checksummed container (magic, per-shard CRC32C frames,
+// footer with offsets) wrapping each shard's wire format. Save coexists
+// with live traffic — readers are never blocked, an Add stalls only
+// while its own shard is being framed, and background rebuilds land
+// before or after their shard's frame — so every key whose Add returned
+// before Save was called is captured; keys added concurrently may or may
+// not be. The snapshot holds only query-time state: a restored filter
+// answers Contains identically but carries no construction statistics
+// and no key list (see Load). Frames stream to w one shard at a time,
+// so Save's memory overhead is one shard's wire size, not the set's.
+func (s *Sharded) Save(w io.Writer) error {
+	if err := s.set.WriteSnapshot(w); err != nil {
+		return fmt.Errorf("habf: save: %w", err)
+	}
+	return nil
+}
+
+// SaveFile writes a snapshot to path via a uniquely named temporary
+// file, fsync and rename, so a crash — including power loss — never
+// leaves a truncated snapshot behind: the data is durable before the
+// rename makes it visible, and the parent directory is synced so the
+// rename itself is. Concurrent SaveFile calls to the same path are safe
+// (each save writes its own temp file; the last rename wins).
+func (s *Sharded) SaveFile(path string) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("habf: save: %w", err)
+	}
+	tmp := f.Name()
+	closed := false
+	fail := func(err error) error {
+		if !closed {
+			f.Close()
+		}
+		os.Remove(tmp)
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if err := s.Save(bw); err != nil {
+		return fail(err) // already "habf: save:"-wrapped
+	}
+	if err := bw.Flush(); err != nil {
+		return fail(fmt.Errorf("habf: save: %w", err))
+	}
+	if err := f.Sync(); err != nil {
+		return fail(fmt.Errorf("habf: save: %w", err))
+	}
+	// CreateTemp makes the file 0600; widen to what a plain os.Create
+	// would have produced, so backup jobs and sidecars can read the
+	// published snapshot.
+	if err := f.Chmod(0o644); err != nil {
+		return fail(fmt.Errorf("habf: save: %w", err))
+	}
+	closed = true
+	if err := f.Close(); err != nil {
+		return fail(fmt.Errorf("habf: save: %w", err))
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fail(fmt.Errorf("habf: save: %w", err))
+	}
+	// Persist the rename: without syncing the directory, the new name can
+	// be lost on power failure even though the data blocks are safe. A
+	// failure here is a broken durability promise, not a quiet downgrade.
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("habf: save: sync dir: %w", err)
+	}
+	dirErr := d.Sync()
+	d.Close()
+	if dirErr != nil {
+		return fmt.Errorf("habf: save: sync dir: %w", dirErr)
+	}
+	return nil
+}
+
+// Load restores a Sharded from a snapshot produced by Save. The load is
+// zero-copy: after validating checksums, each shard's filter serves
+// queries directly out of data, so a multi-gigabyte filter is
+// query-ready as soon as the frames are verified. The caller must keep
+// data alive and unmodified for the lifetime of the returned filter; a
+// post-load Add copies the affected shard's arrays before mutating them
+// (copy-on-first-write), never writing data itself.
+//
+// A restored filter routes, queries and absorbs Adds exactly like the
+// original, but shards restored with a filter do not auto-rebuild on
+// drift: the key list behind the snapshot is not in memory, so a drift
+// rebuild would forget it. Rotate a long-lived restored filter by
+// rebuilding from the source-of-truth key set once Stats().Added grows.
+func Load(data []byte) (*Sharded, error) {
+	snap, err := snapshot.Unmarshal(data)
+	if err != nil {
+		return nil, fmt.Errorf("habf: load: %w", err)
+	}
+	set, err := shard.Restore(snap)
+	if err != nil {
+		return nil, fmt.Errorf("habf: load: %w", err)
+	}
+	return &Sharded{set: set}, nil
+}
+
+// LoadFile reads path into memory and restores it with Load. The file's
+// contents back the returned filter directly (zero-copy).
+func LoadFile(path string) (*Sharded, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("habf: load: %w", err)
+	}
+	return Load(data)
+}
