@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"io"
 	"strconv"
+	"sync/atomic"
 	"testing"
 
 	habf "repro"
@@ -272,6 +273,24 @@ func BenchmarkShardedContainsBatch(b *testing.B) {
 			lo := i & mask
 			_ = sharded.ContainsBatch(probes[lo : lo+256])
 		}
+	})
+	b.Run("sharded/perkey/parallel", func(b *testing.B) {
+		// The uncoalesced per-request serving path: ≥8 concurrent
+		// clients each querying one key at a time (per-key shard lock,
+		// per-call setup). Contrast with batch256/parallel below — same
+		// concurrency, one lock round per 256 keys — which is the path
+		// the habfserved coalescer puts independent single-key network
+		// callers on.
+		b.ReportAllocs()
+		b.SetParallelism(8)
+		var ctr atomic.Int64
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				i := int(ctr.Add(1))
+				_ = sharded.Contains(probes[i&mask])
+			}
+		})
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Mkeys/s")
 	})
 	b.Run("sharded/batch256/parallel", func(b *testing.B) {
 		b.ReportAllocs()

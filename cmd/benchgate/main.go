@@ -1,0 +1,80 @@
+// Command benchgate compares a fresh benchmark run against a committed
+// baseline and fails (exit 1) on regressions — the CI benchmark gate.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_baseline.json -current BENCH_serve.json [-tolerance 2.5]
+//
+// Both files are habfbench -benchjson output (internal/benchfmt). The
+// gate fails when any scenario present in the baseline is missing from
+// the current run, or its ns/op exceeds tolerance × the baseline value.
+// The tolerance is deliberately generous: shared CI runners are noisy,
+// and the gate exists to catch structural regressions (a hot path
+// growing a lock, a batch path quietly degrading to per-key), not
+// scheduler jitter.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/benchfmt"
+)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_baseline.json", "committed baseline results")
+		currentPath  = flag.String("current", "BENCH_serve.json", "fresh benchmark results")
+		tolerance    = flag.Float64("tolerance", 2.5, "fail when current ns/op exceeds tolerance × baseline")
+	)
+	flag.Parse()
+	if err := run(*baselinePath, *currentPath, *tolerance); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(baselinePath, currentPath string, tolerance float64) error {
+	if tolerance <= 1 {
+		return fmt.Errorf("tolerance %v must be > 1", tolerance)
+	}
+	baseline, err := benchfmt.Read(baselinePath)
+	if err != nil {
+		return err
+	}
+	current, err := benchfmt.Read(currentPath)
+	if err != nil {
+		return err
+	}
+	if len(baseline.Results) == 0 {
+		return fmt.Errorf("%s holds no results", baselinePath)
+	}
+
+	cur := map[string]benchfmt.Result{}
+	for _, r := range current.Results {
+		cur[r.Name] = r
+	}
+	fmt.Printf("benchgate: %s (%s/%s, %d CPUs) vs baseline %s (%s/%s, %d CPUs), tolerance %.2fx\n",
+		currentPath, current.GOOS, current.GOARCH, current.CPUs,
+		baselinePath, baseline.GOOS, baseline.GOARCH, baseline.CPUs, tolerance)
+	for _, b := range baseline.Results {
+		c, ok := cur[b.Name]
+		if !ok {
+			fmt.Printf("  %-34s baseline %9.0f ns/op   MISSING from current run\n", b.Name, b.NsPerOp)
+			continue
+		}
+		fmt.Printf("  %-34s baseline %9.0f ns/op   current %9.0f ns/op   %.2fx\n",
+			b.Name, b.NsPerOp, c.NsPerOp, c.NsPerOp/b.NsPerOp)
+	}
+
+	regressions := benchfmt.Compare(baseline, current, tolerance)
+	if len(regressions) == 0 {
+		fmt.Println("benchgate: OK")
+		return nil
+	}
+	for _, r := range regressions {
+		fmt.Fprintln(os.Stderr, "benchgate: REGRESSION:", r)
+	}
+	return fmt.Errorf("%d regression(s) beyond %.2fx tolerance", len(regressions), tolerance)
+}

@@ -9,6 +9,8 @@
 //	habfbench -serve [-shards 8] [-dist zipfian] [-batch 256] [-workers 4] [-writers 1]
 //	habfbench -serve -snapshot filter.snap        # build, then checkpoint
 //	habfbench -serve -restore filter.snap         # restore instead of building
+//	habfbench -net [-clients 8] [-dist zipfian] [-benchjson BENCH_serve.json]
+//	habfbench -net -addr host:8080                # drive a running habfserved
 //
 // Scale 1.0 runs 40 k Shalla keys and 100 k YCSB keys per side with the
 // paper's bits-per-key grid; larger scales approach the published sizes.
@@ -19,6 +21,12 @@
 // -snapshot saves the sharded filter after construction; -restore loads
 // it (zero-copy) instead of rebuilding and reports restore-vs-build
 // timing, so the cold-start win is measurable on real hardware.
+// -net is the network load generator: concurrent HTTP clients issue
+// single-key and batch queries against habfserved (a remote -addr, or an
+// in-process self-test instance) under a workload distribution, report
+// throughput and latency percentiles, and optionally write the
+// machine-readable BENCH_serve.json that CI's regression gate compares
+// against the committed baseline.
 package main
 
 import (
@@ -45,13 +53,48 @@ func main() {
 		batch    = flag.Int("batch", 256, "serve: ContainsBatch size")
 		workers  = flag.Int("workers", 4, "serve: concurrent query goroutines")
 		writers  = flag.Int("writers", 1, "serve: concurrent Add goroutines in the mixed phase")
-		ops      = flag.Int("ops", 4_000_000, "serve: total keys queried per measurement")
+		ops      = flag.Int("ops", 4_000_000, "serve: total keys queried per measurement (net: defaults to 48000)")
 		snapPath = flag.String("snapshot", "", "serve: save the sharded filter's snapshot to this path after building")
 		restore  = flag.String("restore", "", "serve: restore the sharded filter from this snapshot instead of building it")
+
+		netMode   = flag.Bool("net", false, "run the network load generator against habfserved")
+		addr      = flag.String("addr", "", "net: host:port of a running habfserved (empty: in-process self-test)")
+		clients   = flag.Int("clients", 8, "net: concurrent HTTP clients")
+		benchjson = flag.String("benchjson", "", "net: write machine-readable results to this JSON file")
 	)
 	flag.Parse()
 
 	switch {
+	case *netMode:
+		netOps := *ops
+		if !flagWasSet("ops") {
+			// HTTP requests cost three orders of magnitude more than
+			// in-process queries; the -serve default would run for ages.
+			netOps = 48_000
+		}
+		netKeys := *keys
+		if !flagWasSet("keys") {
+			netKeys = 20_000
+		}
+		cfg := netConfig{
+			addr:      *addr,
+			keys:      netKeys,
+			clients:   *clients,
+			ops:       netOps,
+			batch:     *batch,
+			writers:   0,
+			shards:    *shards,
+			dist:      *dist,
+			seed:      *seed,
+			benchjson: *benchjson,
+		}
+		if flagWasSet("writers") {
+			cfg.writers = *writers
+		}
+		if err := runNet(cfg, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "habfbench:", err)
+			os.Exit(1)
+		}
 	case *serve:
 		cfg := serveConfig{
 			keys:     *keys,
@@ -93,4 +136,16 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// flagWasSet reports whether the named flag was given on the command
+// line, so modes can default shared flags differently.
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }

@@ -1,0 +1,382 @@
+package main
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	habf "repro"
+	"repro/internal/benchfmt"
+	"repro/internal/dataset"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// netConfig drives the network load generator (-net): concurrent HTTP
+// clients issuing single-key and batch membership queries against a
+// habfserved instance, under a workload distribution, reporting
+// throughput and latency percentiles.
+type netConfig struct {
+	addr      string // remote daemon base URL host:port; empty = in-process self-test
+	keys      int
+	clients   int
+	ops       int
+	batch     int
+	writers   int
+	shards    int
+	dist      string
+	seed      int64
+	benchjson string // write machine-readable results here
+}
+
+// rawContentType selects the JSON-free request fast path.
+const rawContentType = "application/octet-stream"
+
+func runNet(cfg netConfig, w io.Writer) error {
+	dist, err := workload.Parse(cfg.dist)
+	if err != nil {
+		return err
+	}
+	if cfg.keys < 1 || cfg.clients < 1 || cfg.batch < 1 || cfg.ops < 1 {
+		return fmt.Errorf("net: -keys, -clients, -batch and -ops must all be ≥ 1")
+	}
+
+	data := dataset.YCSB(cfg.keys, cfg.keys, cfg.seed)
+	costs := dataset.ZipfCosts(cfg.keys, 1.1, cfg.seed)
+	negatives := make([]habf.WeightedKey, cfg.keys)
+	for i := range negatives {
+		negatives[i] = habf.WeightedKey{Key: data.Negatives[i], Cost: costs[i]}
+	}
+
+	// Per-client probe streams: even positions are negatives, odd are
+	// members (the MixProbes parity convention), so the generator can
+	// verify zero false negatives while it measures.
+	streams := make([][][]byte, cfg.clients)
+	for i := range streams {
+		streams[i], err = workload.MixProbes(dist, cfg.seed+int64(i), 1<<14, data.Positives, data.Negatives)
+		if err != nil {
+			return err
+		}
+	}
+
+	g := &netGen{cfg: cfg, streams: streams, out: w}
+	g.transport = &http.Transport{
+		MaxIdleConns:        cfg.clients * 2,
+		MaxIdleConnsPerHost: cfg.clients * 2,
+	}
+	defer g.transport.CloseIdleConnections()
+
+	fmt.Fprintf(w, "net: %d keys, %s access, %d clients, batch %d, %d writers, GOMAXPROCS %d\n",
+		cfg.keys, dist, cfg.clients, cfg.batch, cfg.writers, runtime.GOMAXPROCS(0))
+
+	if cfg.addr != "" {
+		// Remote daemon: its coalescing configuration is whatever it was
+		// started with, so there is a single contains scenario.
+		g.base = "http://" + cfg.addr
+		fmt.Fprintf(w, "target: %s (remote)\n\n", g.base)
+		if err := g.scenario("net/contains", g.containsLoop, false); err != nil {
+			return err
+		}
+		if err := g.scenario("net/contains_batch", g.batchLoop, false); err != nil {
+			return err
+		}
+		if cfg.writers > 0 {
+			if err := g.scenario("net/contains+writers", g.containsLoop, true); err != nil {
+				return err
+			}
+		}
+		return g.finish()
+	}
+
+	// Self-test: build the filter once and serve it in-process, first
+	// with coalescing disabled, then enabled, so the uncoalesced and
+	// coalesced request paths are compared on identical traffic.
+	start := time.Now()
+	filter, err := habf.NewSharded(data.Positives, negatives, uint64(10*cfg.keys),
+		habf.WithShards(cfg.shards))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "target: in-process self-test (%d shards, built in %v)\n\n",
+		filter.NumShards(), time.Since(start).Round(time.Millisecond))
+
+	run := func(name string, coalesce server.CoalesceConfig, loop loopFunc, withWriters bool) error {
+		stop, err := g.startServer(filter, coalesce)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		return g.scenario(name, loop, withWriters)
+	}
+	if err := run("net/contains/uncoalesced", server.CoalesceConfig{Disabled: true}, g.containsLoop, false); err != nil {
+		return err
+	}
+	if err := run("net/contains/coalesced", server.CoalesceConfig{}, g.containsLoop, false); err != nil {
+		return err
+	}
+	if err := run("net/contains_batch", server.CoalesceConfig{Disabled: true}, g.batchLoop, false); err != nil {
+		return err
+	}
+	if cfg.writers > 0 {
+		if err := run("net/contains/coalesced+writers", server.CoalesceConfig{}, g.containsLoop, true); err != nil {
+			return err
+		}
+	}
+	return g.finish()
+}
+
+// netGen holds load-generator state shared across scenarios.
+type netGen struct {
+	cfg       netConfig
+	streams   [][][]byte
+	transport *http.Transport
+	base      string
+	out       io.Writer
+	results   []benchfmt.Result
+	writersWG sync.WaitGroup
+	stopWrite chan struct{}
+}
+
+// loopFunc runs one client's share of a scenario: n keys from probes,
+// recording one latency sample per HTTP request into lat.
+type loopFunc func(client int, probes [][]byte, n int, lat *[]int64) error
+
+// startServer serves filter on a loopback listener with the given
+// coalescing config; the returned func tears everything down.
+func (g *netGen) startServer(filter *habf.Sharded, coalesce server.CoalesceConfig) (func(), error) {
+	srv, err := server.New(server.Config{Filter: filter, Coalesce: coalesce})
+	if err != nil {
+		return nil, err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(l)
+	g.base = "http://" + l.Addr().String()
+	return func() {
+		hs.Close()
+		srv.Close()
+		g.transport.CloseIdleConnections()
+	}, nil
+}
+
+// scenario fans n total keys across the configured clients through
+// loop, measures wall time and per-request latency, verifies the
+// zero-false-negative contract on member probes, and records the
+// result. Background /v1/add writers run only when withWriters is set
+// (the "+writers" scenarios), so the plain scenarios measure a filter
+// that is not concurrently mutating.
+func (g *netGen) scenario(name string, loop loopFunc, withWriters bool) error {
+	cfg := g.cfg
+	perClient := cfg.ops / cfg.clients
+	if perClient == 0 {
+		perClient = 1
+	}
+
+	// Warmup establishes connections and primes the coalescer.
+	warm := perClient / 10
+	if warm > 2000 {
+		warm = 2000
+	}
+	if warm < 1 {
+		warm = 1
+	}
+	var warmLat []int64
+	if err := loop(0, g.streams[0], warm, &warmLat); err != nil {
+		return fmt.Errorf("%s: warmup: %w", name, err)
+	}
+
+	if withWriters {
+		g.startWriters()
+	}
+	lats := make([][]int64, cfg.clients)
+	errs := make([]error, cfg.clients)
+	var wg sync.WaitGroup
+	begin := time.Now()
+	for c := 0; c < cfg.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			errs[c] = loop(c, g.streams[c], perClient, &lats[c])
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(begin)
+	if withWriters {
+		g.stopWriters()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+	}
+
+	var all []int64
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	ops := int64(perClient) * int64(cfg.clients)
+	res := benchfmt.Result{
+		Name:    name,
+		Clients: cfg.clients,
+		Ops:     ops,
+		NsPerOp: float64(elapsed.Nanoseconds()) / float64(ops),
+		QPS:     float64(ops) / elapsed.Seconds(),
+		P50Ns:   benchfmt.Percentile(all, 50),
+		P95Ns:   benchfmt.Percentile(all, 95),
+		P99Ns:   benchfmt.Percentile(all, 99),
+	}
+	g.results = append(g.results, res)
+	fmt.Fprintf(g.out, "%-32s %9.0f qps  %8.0f ns/op   p50 %s  p95 %s  p99 %s   (%v)\n",
+		name, res.QPS, res.NsPerOp,
+		time.Duration(res.P50Ns).Round(time.Microsecond),
+		time.Duration(res.P95Ns).Round(time.Microsecond),
+		time.Duration(res.P99Ns).Round(time.Microsecond),
+		elapsed.Round(time.Millisecond))
+	return nil
+}
+
+// containsLoop issues raw single-key /v1/contains requests.
+func (g *netGen) containsLoop(client int, probes [][]byte, n int, lat *[]int64) error {
+	hc := &http.Client{Transport: g.transport}
+	url := g.base + "/v1/contains"
+	mask := len(probes) - 1
+	var buf [8]byte
+	for i := 0; i < n; i++ {
+		idx := i & mask
+		start := time.Now()
+		resp, err := hc.Post(url, rawContentType, bytes.NewReader(probes[idx]))
+		if err != nil {
+			return err
+		}
+		nr, err := io.ReadFull(resp.Body, buf[:1])
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if err != nil || nr != 1 {
+			return fmt.Errorf("short contains response (%d bytes): %v", nr, err)
+		}
+		*lat = append(*lat, time.Since(start).Nanoseconds())
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("contains: HTTP %d", resp.StatusCode)
+		}
+		if idx%2 == 1 && buf[0] != '1' {
+			return fmt.Errorf("false negative over HTTP for member probe %d", idx)
+		}
+	}
+	return nil
+}
+
+// batchLoop issues /v1/contains_batch requests of the configured batch
+// size; one latency sample covers one whole batch, but ops/NsPerOp stay
+// per-key so batch numbers compare directly against single-key ones.
+func (g *netGen) batchLoop(client int, probes [][]byte, n int, lat *[]int64) error {
+	hc := &http.Client{Transport: g.transport}
+	url := g.base + "/v1/contains_batch"
+	mask := len(probes) - 1
+	type batchResp struct {
+		Present []bool `json:"present"`
+	}
+	enc := make([]string, g.cfg.batch)
+	for done := 0; done < n; {
+		size := g.cfg.batch
+		if n-done < size {
+			size = n - done
+		}
+		lo := done & mask
+		for j := 0; j < size; j++ {
+			enc[j] = base64.StdEncoding.EncodeToString(probes[(lo+j)&mask])
+		}
+		body, err := json.Marshal(map[string][]string{"keys": enc[:size]})
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		resp, err := hc.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		var br batchResp
+		err = json.NewDecoder(resp.Body).Decode(&br)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("contains_batch decode: %w", err)
+		}
+		*lat = append(*lat, time.Since(start).Nanoseconds())
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("contains_batch: HTTP %d", resp.StatusCode)
+		}
+		if len(br.Present) != size {
+			return fmt.Errorf("contains_batch: %d results for %d keys", len(br.Present), size)
+		}
+		for j, ok := range br.Present {
+			if ((lo+j)&mask)%2 == 1 && !ok {
+				return fmt.Errorf("false negative over HTTP for member probe %d", (lo+j)&mask)
+			}
+		}
+		done += size
+	}
+	return nil
+}
+
+// startWriters streams /v1/add traffic until stopWriters.
+func (g *netGen) startWriters() {
+	g.stopWrite = make(chan struct{})
+	for wr := 0; wr < g.cfg.writers; wr++ {
+		g.writersWG.Add(1)
+		go func(wr int) {
+			defer g.writersWG.Done()
+			hc := &http.Client{Transport: g.transport}
+			url := g.base + "/v1/add"
+			for i := 0; ; i++ {
+				select {
+				case <-g.stopWrite:
+					return
+				default:
+				}
+				key := fmt.Sprintf("fresh-%d-%09d", wr, i)
+				resp, err := hc.Post(url, rawContentType, bytes.NewReader([]byte(key)))
+				if err != nil {
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(wr)
+	}
+}
+
+func (g *netGen) stopWriters() {
+	close(g.stopWrite)
+	g.writersWG.Wait()
+}
+
+// finish writes the optional JSON results file.
+func (g *netGen) finish() error {
+	if g.cfg.benchjson == "" {
+		return nil
+	}
+	f := benchfmt.File{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Note:      fmt.Sprintf("habfbench -net: %d keys, %s access, %d clients, batch %d", g.cfg.keys, g.cfg.dist, g.cfg.clients, g.cfg.batch),
+		Results:   g.results,
+	}
+	if err := benchfmt.Write(g.cfg.benchjson, f); err != nil {
+		return err
+	}
+	fmt.Fprintf(g.out, "\nwrote %s (%d results)\n", g.cfg.benchjson, len(g.results))
+	return nil
+}

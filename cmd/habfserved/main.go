@@ -1,0 +1,178 @@
+// Command habfserved serves a sharded HABF over HTTP.
+//
+// The daemon answers membership queries (/v1/contains, coalesced into
+// micro-batches under concurrency), batch queries (/v1/contains_batch),
+// inserts (/v1/add), operational stats (/v1/stats), crash-safe
+// checkpoints (/v1/snapshot) and Prometheus metrics (/metrics).
+//
+// Usage:
+//
+//	habfserved -restore filter.snap [-addr :8080] [-snapshot filter.snap -snapshot-on-exit]
+//	habfserved -keys 100000 [-shards 8] [-seed 1]       # synthetic filter, for demos/load tests
+//
+// The filter comes from one of two sources: -restore loads a snapshot
+// produced by habf.SaveFile (zero-copy, query-ready in milliseconds), or
+// a synthetic -keys filter is built at startup from the deterministic
+// YCSB-style key generator (the same keys `habfbench -net` probes with).
+//
+// Shutdown is graceful: on SIGINT/SIGTERM the listener stops accepting,
+// in-flight requests and coalesced batches drain, and with
+// -snapshot-on-exit a final checkpoint is written to the -snapshot path.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	habf "repro"
+	"repro/internal/dataset"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		restore  = flag.String("restore", "", "restore the filter from this snapshot at startup")
+		keys     = flag.Int("keys", 0, "build a synthetic filter with this many keys per side (when not restoring)")
+		shards   = flag.Int("shards", 8, "shard count for a synthetic filter (rounded up to a power of two)")
+		seed     = flag.Int64("seed", 1, "seed for the synthetic filter's keys and construction")
+		bits     = flag.Float64("bits", 10, "bits per key for a synthetic filter")
+		snapPath = flag.String("snapshot", "", "default target for /v1/snapshot and -snapshot-on-exit")
+		snapExit = flag.Bool("snapshot-on-exit", false, "write a final snapshot to -snapshot during graceful shutdown")
+
+		coalesceOff  = flag.Bool("no-coalesce", false, "disable request coalescing (direct per-key queries)")
+		maxBatch     = flag.Int("coalesce-batch", 256, "largest coalesced micro-batch")
+		maxWait      = flag.Duration("coalesce-wait", 0, "how long a dispatcher lingers for stragglers (0: drain-only)")
+		minGather    = flag.Int("coalesce-min", 8, "batch size at which a dispatcher stops lingering")
+		dispatchers  = flag.Int("dispatchers", 2, "coalescing dispatcher goroutines")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget")
+	)
+	flag.Parse()
+	if err := run(config{
+		addr: *addr, restore: *restore, keys: *keys, shards: *shards,
+		seed: *seed, bits: *bits, snapPath: *snapPath, snapExit: *snapExit,
+		drainTimeout: *drainTimeout,
+		coalesce: server.CoalesceConfig{
+			MaxBatch:    *maxBatch,
+			MaxWait:     *maxWait,
+			MinGather:   *minGather,
+			Dispatchers: *dispatchers,
+			Disabled:    *coalesceOff,
+		},
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "habfserved:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	addr         string
+	restore      string
+	keys         int
+	shards       int
+	seed         int64
+	bits         float64
+	snapPath     string
+	snapExit     bool
+	drainTimeout time.Duration
+	coalesce     server.CoalesceConfig
+}
+
+// buildFilter realizes the daemon's filter from the configured source.
+func buildFilter(cfg config) (*habf.Sharded, error) {
+	if cfg.restore != "" {
+		start := time.Now()
+		f, err := habf.LoadFile(cfg.restore)
+		if err != nil {
+			return nil, fmt.Errorf("restore %s: %w", cfg.restore, err)
+		}
+		st := f.Stats()
+		fmt.Fprintf(os.Stderr, "habfserved: restored %s in %v (%d shards, %.1f KiB)\n",
+			cfg.restore, time.Since(start).Round(time.Millisecond), st.Shards, float64(st.SizeBits)/8/1024)
+		return f, nil
+	}
+	if cfg.keys <= 0 {
+		return nil, errors.New("no filter source: pass -restore or -keys")
+	}
+	start := time.Now()
+	data := dataset.YCSB(cfg.keys, cfg.keys, cfg.seed)
+	costs := dataset.ZipfCosts(cfg.keys, 1.1, cfg.seed)
+	negatives := make([]habf.WeightedKey, cfg.keys)
+	for i := range negatives {
+		negatives[i] = habf.WeightedKey{Key: data.Negatives[i], Cost: costs[i]}
+	}
+	f, err := habf.NewSharded(data.Positives, negatives, uint64(cfg.bits*float64(cfg.keys)),
+		habf.WithShards(cfg.shards), habf.WithShardFilterOptions(habf.WithSeed(cfg.seed)))
+	if err != nil {
+		return nil, fmt.Errorf("build: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "habfserved: built synthetic filter over %d keys in %v (%d shards)\n",
+		cfg.keys, time.Since(start).Round(time.Millisecond), f.NumShards())
+	return f, nil
+}
+
+func run(cfg config) error {
+	filter, err := buildFilter(cfg)
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Config{
+		Filter:       filter,
+		Coalesce:     cfg.coalesce,
+		SnapshotPath: cfg.snapPath,
+	})
+	if err != nil {
+		return err
+	}
+
+	hs := &http.Server{
+		Addr:              cfg.addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "habfserved: listening on %s\n", cfg.addr)
+		if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		srv.Close()
+		return err
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "habfserved: %v — draining\n", sig)
+	}
+
+	// Graceful shutdown: stop accepting, drain in-flight requests, then
+	// drain the coalescer and (optionally) checkpoint.
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "habfserved: shutdown: %v\n", err)
+	}
+	srv.Close()
+	filter.WaitRebuilds()
+	if cfg.snapExit {
+		path, took, err := srv.Snapshot("")
+		if err != nil {
+			return fmt.Errorf("snapshot-on-exit: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "habfserved: final snapshot %s in %v\n", path, took.Round(time.Millisecond))
+	}
+	return <-errc
+}

@@ -1,0 +1,94 @@
+package benchfmt
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeRaw(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func sample(ns map[string]float64) File {
+	f := File{GoVersion: "go1.22", GOOS: "linux", GOARCH: "amd64", CPUs: 4}
+	for name, v := range ns {
+		f.Results = append(f.Results, Result{Name: name, Ops: 1000, NsPerOp: v})
+	}
+	return f
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	in := sample(map[string]float64{"net/contains": 50000, "net/contains_batch": 2000})
+	if err := Write(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Schema != Schema {
+		t.Fatalf("schema %d, want %d", out.Schema, Schema)
+	}
+	if len(out.Results) != 2 {
+		t.Fatalf("%d results, want 2", len(out.Results))
+	}
+}
+
+func TestReadRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	f := sample(nil)
+	if err := Write(path, f); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the schema by writing a raw file claiming schema 999.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := writeRaw(bad, `{"schema": 999, "results": []}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(bad); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("want schema error, got %v", err)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	baseline := sample(map[string]float64{
+		"a": 1000,
+		"b": 1000,
+		"c": 1000,
+	})
+	current := sample(map[string]float64{
+		"a": 2400, // 2.4x: within 2.5x tolerance
+		"b": 2600, // 2.6x: regression
+		// "c" missing: regression
+		"d": 99999, // new scenario: ignored
+	})
+	regs := Compare(baseline, current, 2.5)
+	if len(regs) != 2 {
+		t.Fatalf("%d regressions, want 2: %v", len(regs), regs)
+	}
+	if regs[0].Name != "b" || regs[0].Missing || regs[0].Ratio < 2.59 || regs[0].Ratio > 2.61 {
+		t.Fatalf("bad regression record: %+v", regs[0])
+	}
+	if regs[1].Name != "c" || !regs[1].Missing {
+		t.Fatalf("missing scenario not flagged: %+v", regs[1])
+	}
+	if got := Compare(baseline, baseline, 2.5); len(got) != 0 {
+		t.Fatalf("self-compare found %d regressions", len(got))
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	samples := []int64{50, 10, 40, 30, 20}
+	if p := Percentile(samples, 50); p != 30 {
+		t.Fatalf("p50 = %v, want 30", p)
+	}
+	if p := Percentile(samples, 100); p != 50 {
+		t.Fatalf("p100 = %v, want 50", p)
+	}
+	if p := Percentile(nil, 99); p != 0 {
+		t.Fatalf("empty p99 = %v, want 0", p)
+	}
+}

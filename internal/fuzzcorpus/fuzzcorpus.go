@@ -1,0 +1,88 @@
+// Package fuzzcorpus reads and writes Go fuzz seed-corpus files (the
+// "go test fuzz v1" encoding used under testdata/fuzz/<FuzzName>/), so
+// packages can commit deterministic seed corpora and verify in normal
+// test runs that the committed files stay decodable and in sync with
+// the hostile inputs the fuzz targets care about.
+package fuzzcorpus
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// header is the version line of the Go fuzz corpus encoding.
+const header = "go test fuzz v1"
+
+// Encode renders one []byte fuzz argument as a corpus file body.
+func Encode(data []byte) []byte {
+	return []byte(header + "\n[]byte(" + strconv.Quote(string(data)) + ")\n")
+}
+
+// Decode parses a corpus file body holding a single []byte argument.
+func Decode(content []byte) ([]byte, error) {
+	lines := strings.SplitN(strings.TrimRight(string(content), "\n"), "\n", 2)
+	if len(lines) != 2 || lines[0] != header {
+		return nil, fmt.Errorf("fuzzcorpus: missing %q header", header)
+	}
+	arg := lines[1]
+	if !strings.HasPrefix(arg, "[]byte(") || !strings.HasSuffix(arg, ")") {
+		return nil, fmt.Errorf("fuzzcorpus: argument %q is not a []byte literal", arg)
+	}
+	s, err := strconv.Unquote(arg[len("[]byte(") : len(arg)-1])
+	if err != nil {
+		return nil, fmt.Errorf("fuzzcorpus: %w", err)
+	}
+	return []byte(s), nil
+}
+
+// WriteDir writes one corpus file per named seed into dir (creating
+// it), e.g. WriteDir("testdata/fuzz/FuzzX", map[string][]byte{...}).
+func WriteDir(dir string, seeds map[string][]byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for name, data := range seeds {
+		if err := os.WriteFile(filepath.Join(dir, name), Encode(data), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadDir decodes every corpus file in dir, keyed by file name.
+func ReadDir(dir string) (map[string][]byte, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]byte, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		content, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		data, err := Decode(content)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.Name(), err)
+		}
+		out[e.Name()] = data
+	}
+	return out, nil
+}
+
+// Names returns the sorted seed names, for deterministic test output.
+func Names(seeds map[string][]byte) []string {
+	names := make([]string, 0, len(seeds))
+	for name := range seeds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

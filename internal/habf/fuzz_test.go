@@ -4,45 +4,62 @@ import (
 	"bytes"
 	"encoding/binary"
 	"testing"
+
+	"repro/internal/fuzzcorpus"
 )
 
-// FuzzUnmarshalFilter hardens the wire format: arbitrary bytes must never
-// panic, and every accepted payload must re-marshal to an equivalent
-// filter.
-func FuzzUnmarshalFilter(f *testing.F) {
+// fuzzFilterSeeds builds the hostile wire-format inputs FuzzUnmarshalFilter
+// starts from. The same set is committed as a seed corpus under
+// testdata/fuzz/FuzzUnmarshalFilter (see TestFilterSeedCorpus), so the
+// 10-second CI fuzz smoke starts from real decoder edge cases instead of
+// an empty corpus.
+func fuzzFilterSeeds(tb testing.TB) map[string][]byte {
 	pos := genKeys(200, "fz")
 	neg := genNegatives(200, "fn", uniformCost)
 	built, err := New(pos, neg, Params{TotalBits: 1 << 13})
 	if err != nil {
-		f.Fatal(err)
+		tb.Fatal(err)
 	}
 	good, err := built.MarshalBinary()
 	if err != nil {
-		f.Fatal(err)
+		tb.Fatal(err)
 	}
-	f.Add(good)
-	f.Add([]byte{})
-	f.Add([]byte("HABF"))
-	f.Add(good[:len(good)/2])
-	// Truncated just inside a block: length prefix intact, payload cut.
-	f.Add(good[:len(good)-1])
-	f.Add(good[:30])
+	seeds := map[string][]byte{
+		"valid-filter": good,
+		"empty":        {},
+		"magic-only":   []byte("HABF"),
+		"half":         good[:len(good)/2],
+		// Truncated just inside a block: length prefix intact, payload cut.
+		"trunc-1":  good[:len(good)-1],
+		"trunc-30": good[:30],
+	}
 	// Hostile block length: 2^64-1 in the first block's length prefix —
 	// the int(uint64) narrowing regression (would wrap on 32-bit hosts).
 	k := int(good[6])
 	hugeBlock := append([]byte(nil), good...)
 	binary.LittleEndian.PutUint64(hugeBlock[17+k:], ^uint64(0))
-	f.Add(hugeBlock)
+	seeds["huge-block-len"] = hugeBlock
 	// Hostile bitset length: payload sized for 0 bits but header claiming
 	// 2^64-1, which used to wrap (n+63)/64 and panic the first Test.
 	hugeBits := append([]byte(nil), good...)
 	binary.LittleEndian.PutUint64(hugeBits[17+k+8+4:], ^uint64(0))
-	f.Add(hugeBits)
+	seeds["huge-bitset-len"] = hugeBits
 	// Corrupted payload byte mid-bloom (no inner CRC: may decode to a
 	// different but still well-formed filter; must not panic).
 	bitrot := append([]byte(nil), good...)
 	bitrot[len(bitrot)/2] ^= 0x10
-	f.Add(bitrot)
+	seeds["bitrot"] = bitrot
+	return seeds
+}
+
+// FuzzUnmarshalFilter hardens the wire format: arbitrary bytes must never
+// panic, and every accepted payload must re-marshal to an equivalent
+// filter.
+func FuzzUnmarshalFilter(f *testing.F) {
+	seeds := fuzzFilterSeeds(f)
+	for _, name := range fuzzcorpus.Names(seeds) {
+		f.Add(seeds[name])
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		for _, decode := range []func([]byte) (*Filter, error){UnmarshalFilter, UnmarshalFilterBorrow} {

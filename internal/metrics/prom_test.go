@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPrometheusRendering pins the exposition format: family grouping,
+// TYPE lines, labeled counters, gauges, cumulative histogram buckets.
+func TestPrometheusRendering(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter(`req_total{endpoint="contains"}`, "Requests by endpoint.")
+	b := reg.Counter(`req_total{endpoint="add"}`, "Requests by endpoint.")
+	reg.Gauge("keys", "Keys served.", func() float64 { return 42 })
+	h := reg.Histogram("latency_seconds", "Latency.", []float64{0.01, 0.1, 1})
+
+	a.Add(3)
+	b.Inc()
+	h.Observe(0.005) // ≤0.01
+	h.Observe(0.05)  // ≤0.1
+	h.Observe(0.5)   // ≤1
+	h.Observe(5)     // +Inf
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"# HELP req_total Requests by endpoint.\n# TYPE req_total counter\n",
+		`req_total{endpoint="contains"} 3`,
+		`req_total{endpoint="add"} 1`,
+		"# TYPE keys gauge",
+		"keys 42",
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{le="0.01"} 1`,
+		`latency_seconds_bucket{le="0.1"} 2`,
+		`latency_seconds_bucket{le="1"} 3`,
+		`latency_seconds_bucket{le="+Inf"} 4`,
+		"latency_seconds_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// The shared family header must appear exactly once.
+	if n := strings.Count(out, "# TYPE req_total counter"); n != 1 {
+		t.Fatalf("req_total TYPE header appears %d times", n)
+	}
+	// Histogram sum: 0.005+0.05+0.5+5 = 5.555.
+	if !strings.Contains(out, "latency_seconds_sum 5.555") {
+		t.Fatalf("bad histogram sum in:\n%s", out)
+	}
+}
+
+// TestHistogramObserveDuration checks the seconds conversion.
+func TestHistogramObserveDuration(t *testing.T) {
+	h := NewHistogram(DurationBuckets())
+	h.ObserveDuration(30 * time.Microsecond)
+	h.ObserveDuration(2 * time.Millisecond)
+	if h.Count() != 2 {
+		t.Fatalf("count %d, want 2", h.Count())
+	}
+	// 30µs lands in the ≤50µs bucket (index 2: bounds 10µs, 25µs, 50µs).
+	if got := h.counts[2].Load(); got != 1 {
+		t.Fatalf("30µs bucket count %d, want 1", got)
+	}
+}
+
+// TestMetricsConcurrency exercises updates racing a scrape (run under
+// -race in CI).
+func TestMetricsConcurrency(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("ops_total", "Ops.")
+	h := reg.Histogram("lat_seconds", "Latency.", DurationBuckets())
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(0.001)
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		var sb strings.Builder
+		if err := reg.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if c.Value() != 4000 {
+		t.Fatalf("counter %d, want 4000", c.Value())
+	}
+	if h.Count() != 4000 {
+		t.Fatalf("histogram count %d, want 4000", h.Count())
+	}
+}

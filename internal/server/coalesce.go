@@ -1,0 +1,286 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Batcher is the query capability the coalescer dispatches to — in
+// production a *habf.Sharded, whose ContainsBatch takes each shard's
+// lock once per chunk instead of once per key.
+type Batcher interface {
+	Contains(key []byte) bool
+	ContainsBatch(keys [][]byte) []bool
+}
+
+// CoalesceConfig tunes the micro-batching layer.
+type CoalesceConfig struct {
+	// MaxBatch is the largest micro-batch dispatched at once. Default 256.
+	MaxBatch int
+	// MaxWait bounds how long a dispatcher lingers for stragglers after
+	// a batch has started forming but is still below MinGather. The
+	// zero default disables lingering: a dispatcher dispatches whatever
+	// a non-blocking drain finds already queued. Under concurrent load
+	// the drain alone forms healthy batches (requests accumulate while
+	// the previous batch executes), and measurements show lingering
+	// costs more than it gathers when each core is already saturated;
+	// reserve a small positive MaxWait (≤100µs) for many-core hosts
+	// with sustained traffic, where bigger batches buy back lock
+	// rounds.
+	MaxWait time.Duration
+	// MinGather is the batch size at which a dispatcher stops lingering
+	// and fires immediately; once the drain alone yields this many keys
+	// the amortization win is already realized. Default 8.
+	MinGather int
+	// Dispatchers is the number of batch-dispatch goroutines. More than
+	// one lets independent micro-batches execute in parallel on
+	// multi-core hosts. Default 2.
+	Dispatchers int
+	// Disabled bypasses coalescing entirely: Contains degenerates to a
+	// direct per-key query. The serving daemon exposes this as a flag so
+	// the coalesced and uncoalesced request paths can be compared on
+	// identical traffic.
+	Disabled bool
+}
+
+func (c *CoalesceConfig) withDefaults() CoalesceConfig {
+	out := *c
+	if out.MaxBatch <= 0 {
+		out.MaxBatch = 256
+	}
+	if out.MaxWait < 0 {
+		out.MaxWait = 0
+	}
+	if out.MinGather <= 0 {
+		out.MinGather = 8
+	}
+	if out.MinGather > out.MaxBatch {
+		out.MinGather = out.MaxBatch
+	}
+	if out.Dispatchers <= 0 {
+		out.Dispatchers = 2
+	}
+	return out
+}
+
+// coalReq is one in-flight single-key query. The result channel is
+// buffered so a dispatcher never blocks delivering; requests are pooled
+// and the channel reused across queries.
+type coalReq struct {
+	key []byte
+	res chan bool
+}
+
+var reqPool = sync.Pool{New: func() any { return &coalReq{res: make(chan bool, 1)} }}
+
+// CoalesceStats is a point-in-time summary of coalescer activity.
+type CoalesceStats struct {
+	// Keys is the number of single-key queries answered through batches.
+	Keys uint64
+	// Batches is the number of micro-batches dispatched.
+	Batches uint64
+	// Lingers counts batches that waited up to MaxWait for stragglers.
+	Lingers uint64
+	// Direct counts queries answered on the per-key path: coalescing
+	// disabled, or requests arriving during/after Close.
+	Direct uint64
+}
+
+// MeanBatch returns the average dispatched batch size.
+func (s CoalesceStats) MeanBatch() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.Keys) / float64(s.Batches)
+}
+
+// Coalescer gathers concurrent single-key Contains calls into
+// micro-batches and dispatches them through Batcher.ContainsBatch, so
+// independent network callers share the per-chunk lock round and scratch
+// reuse that in-process batch callers already enjoy.
+//
+// The gather policy is adaptive. A dispatcher first drains whatever is
+// already queued, without blocking; under concurrent load this alone
+// forms healthy batches, because requests accumulate while the previous
+// batch executes. With a positive MaxWait, a dispatcher whose drain
+// comes up short (fewer than MinGather keys) additionally lingers up to
+// MaxWait for stragglers — but a linger that finds no company switches
+// lingering off until some batch gathers more than one request again,
+// so sporadic traffic on an idle server pays the wait at most once per
+// quiet spell.
+type Coalescer struct {
+	b   Batcher
+	cfg CoalesceConfig
+
+	reqs    chan *coalReq
+	closed  atomic.Bool
+	sending sync.WaitGroup // senders in the closed-check → send window
+	workers sync.WaitGroup
+
+	keys    atomic.Uint64
+	batches atomic.Uint64
+	lingers atomic.Uint64
+	direct  atomic.Uint64
+
+	// onBatch, when set, observes each dispatched batch size (metrics).
+	onBatch func(n int)
+}
+
+// NewCoalescer starts cfg.Dispatchers dispatch goroutines over b.
+// Callers must Close the coalescer to release them.
+func NewCoalescer(b Batcher, cfg CoalesceConfig) *Coalescer {
+	cfg = cfg.withDefaults()
+	c := &Coalescer{
+		b:   b,
+		cfg: cfg,
+		// Channel capacity covers several full batches so senders do not
+		// block while a dispatch is executing.
+		reqs: make(chan *coalReq, 4*cfg.MaxBatch*cfg.Dispatchers),
+	}
+	if !cfg.Disabled {
+		c.workers.Add(cfg.Dispatchers)
+		for i := 0; i < cfg.Dispatchers; i++ {
+			go c.dispatch()
+		}
+	}
+	return c
+}
+
+// Contains answers a single-key membership query, transparently batched
+// with whatever other queries are in flight. Safe for any number of
+// concurrent callers. After Close (or with coalescing disabled) it falls
+// back to a direct per-key query, so late requests still get answers.
+func (c *Coalescer) Contains(key []byte) bool {
+	if c.cfg.Disabled || c.closed.Load() {
+		c.direct.Add(1)
+		return c.b.Contains(key)
+	}
+	r := reqPool.Get().(*coalReq)
+	r.key = key
+	// The sending WaitGroup pins the closed → drain ordering: Close sets
+	// closed, waits out every sender that saw it unset, and only then
+	// closes the channel, so no send can hit a closed channel.
+	c.sending.Add(1)
+	if c.closed.Load() {
+		c.sending.Done()
+		r.key = nil
+		reqPool.Put(r)
+		c.direct.Add(1)
+		return c.b.Contains(key)
+	}
+	c.reqs <- r
+	c.sending.Done()
+	ok := <-r.res
+	r.key = nil
+	reqPool.Put(r)
+	return ok
+}
+
+// Stats returns cumulative coalescing counters.
+func (c *Coalescer) Stats() CoalesceStats {
+	return CoalesceStats{
+		Keys:    c.keys.Load(),
+		Batches: c.batches.Load(),
+		Lingers: c.lingers.Load(),
+		Direct:  c.direct.Load(),
+	}
+}
+
+// Close drains in-flight batches and stops the dispatchers. Queries
+// racing with Close are still answered (coalesced if they made it into
+// the queue, directly otherwise). Close is idempotent.
+func (c *Coalescer) Close() {
+	if c.closed.Swap(true) {
+		return
+	}
+	c.sending.Wait()
+	close(c.reqs)
+	c.workers.Wait()
+}
+
+// dispatch is the batch-forming loop: block for the first request, drain
+// stragglers, optionally linger, then answer the whole batch through one
+// ContainsBatch call.
+func (c *Coalescer) dispatch() {
+	defer c.workers.Done()
+	var (
+		keys  = make([][]byte, 0, c.cfg.MaxBatch)
+		batch = make([]*coalReq, 0, c.cfg.MaxBatch)
+		timer = time.NewTimer(time.Hour)
+		// lonely is the linger-off switch: set when a linger gained no
+		// company, cleared whenever a batch gathers more than one
+		// request. Starting optimistic (false) lets the very first
+		// concurrent burst coalesce.
+		lonely = false
+	)
+	defer timer.Stop()
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		r, ok := <-c.reqs
+		if !ok {
+			return
+		}
+		keys = append(keys[:0], r.key)
+		batch = append(batch[:0], r)
+
+		// Phase 1: drain what is already queued, without blocking.
+	drain:
+		for len(batch) < c.cfg.MaxBatch {
+			select {
+			case r, ok = <-c.reqs:
+				if !ok {
+					break drain
+				}
+				keys = append(keys, r.key)
+				batch = append(batch, r)
+			default:
+				break drain
+			}
+		}
+
+		// Phase 2: linger briefly for stragglers when the drain came up
+		// short, unless the last linger proved traffic is sporadic.
+		if preLinger := len(batch); ok && preLinger < c.cfg.MinGather && c.cfg.MaxWait > 0 && !lonely {
+			c.lingers.Add(1)
+			timer.Reset(c.cfg.MaxWait)
+		linger:
+			for len(batch) < c.cfg.MinGather {
+				select {
+				case r, ok = <-c.reqs:
+					if !ok {
+						break linger
+					}
+					keys = append(keys, r.key)
+					batch = append(batch, r)
+				case <-timer.C:
+					break linger
+				}
+			}
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			lonely = len(batch) == preLinger
+		} else if len(batch) > 1 || c.batches.Load()%64 == 63 {
+			// A multi-request batch proves concurrency; and every 64th
+			// batch re-probes lingering even without one, so a quiet
+			// spell can't disable coalescing permanently.
+			lonely = false
+		}
+
+		results := c.b.ContainsBatch(keys)
+		for i, r := range batch {
+			r.res <- results[i]
+		}
+		c.keys.Add(uint64(len(batch)))
+		c.batches.Add(1)
+		if c.onBatch != nil {
+			c.onBatch(len(batch))
+		}
+	}
+}

@@ -1,0 +1,330 @@
+// Package server turns a sharded HABF into a network service: an HTTP
+// API over *habf.Sharded with transparent request coalescing, so the
+// per-chunk lock amortization of ContainsBatch — an in-process win for
+// callers that already hold a batch — is also realized for independent
+// single-key network callers.
+//
+// Endpoints (all request/response bodies are JSON unless noted):
+//
+//	POST /v1/contains        {"key": <base64>}            → {"present": bool}
+//	POST /v1/contains_batch  {"keys": [<base64>, ...]}    → {"present": [bool, ...]}
+//	POST /v1/add             {"key": <base64>}            → {"ok": true}
+//	POST /v1/snapshot        {"path": "..."} (optional)   → {"path": ..., "ms": ...}
+//	GET  /v1/stats                                        → filter + shard + coalescer stats
+//	GET  /metrics                                         → Prometheus text format
+//
+// /v1/contains and /v1/add also accept Content-Type:
+// application/octet-stream with the raw key bytes as the body; raw
+// contains requests are answered with a one-byte body, "1" or "0". The
+// raw form exists for load generators and latency-sensitive callers that
+// want to skip JSON entirely.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	habf "repro"
+	"repro/internal/metrics"
+)
+
+// maxBodyBytes bounds request bodies; a membership key or a batch of
+// them is small, so anything larger is a client error, not traffic.
+const maxBodyBytes = 8 << 20
+
+// Config assembles a Server.
+type Config struct {
+	// Filter is the sharded filter to serve. Required.
+	Filter *habf.Sharded
+	// Coalesce tunes (or disables) single-key request coalescing.
+	Coalesce CoalesceConfig
+	// SnapshotPath is the default target for POST /v1/snapshot and for
+	// snapshot-on-exit. Empty means snapshot requests must name a path.
+	SnapshotPath string
+}
+
+// Server is the HTTP serving layer. Create with New, expose with
+// Handler, and Close when done (it drains the coalescer).
+type Server struct {
+	filter   *habf.Sharded
+	co       *Coalescer
+	mux      *http.ServeMux
+	snapPath string
+
+	// snapMu serializes snapshot writes to the default path so two
+	// concurrent /v1/snapshot calls don't interleave their progress
+	// reporting (SaveFile itself is already crash-safe under races).
+	snapMu sync.Mutex
+
+	reg *metrics.Registry
+
+	mContains      *metrics.Counter
+	mContainsBatch *metrics.Counter
+	mBatchKeys     *metrics.Counter
+	mAdd           *metrics.Counter
+	mSnapshots     *metrics.Counter
+	mErrors        *metrics.Counter
+	hContains      *metrics.Histogram
+	hBatchSize     *metrics.Histogram
+	hCoalesceSize  *metrics.Histogram
+}
+
+// New builds a Server over cfg.Filter and starts its coalescer.
+func New(cfg Config) (*Server, error) {
+	if cfg.Filter == nil {
+		return nil, fmt.Errorf("server: nil Filter")
+	}
+	s := &Server{
+		filter:   cfg.Filter,
+		snapPath: cfg.SnapshotPath,
+		reg:      metrics.NewRegistry(),
+	}
+	s.co = NewCoalescer(cfg.Filter, cfg.Coalesce)
+
+	s.mContains = s.reg.Counter(`habfserved_requests_total{endpoint="contains"}`, "Requests by endpoint.")
+	s.mContainsBatch = s.reg.Counter(`habfserved_requests_total{endpoint="contains_batch"}`, "Requests by endpoint.")
+	s.mAdd = s.reg.Counter(`habfserved_requests_total{endpoint="add"}`, "Requests by endpoint.")
+	s.mSnapshots = s.reg.Counter(`habfserved_requests_total{endpoint="snapshot"}`, "Requests by endpoint.")
+	s.mBatchKeys = s.reg.Counter("habfserved_batch_keys_total", "Keys queried through /v1/contains_batch.")
+	s.mErrors = s.reg.Counter("habfserved_request_errors_total", "Requests rejected with a 4xx/5xx status.")
+	s.hContains = s.reg.Histogram("habfserved_contains_duration_seconds",
+		"End-to-end handler latency of /v1/contains.", metrics.DurationBuckets())
+	s.hBatchSize = s.reg.Histogram("habfserved_batch_size_keys",
+		"Batch sizes seen by /v1/contains_batch.", metrics.SizeBuckets(1<<16))
+	s.hCoalesceSize = s.reg.Histogram("habfserved_coalesce_batch_size_keys",
+		"Micro-batch sizes formed by the request coalescer.", metrics.SizeBuckets(1<<12))
+	s.co.onBatch = func(n int) { s.hCoalesceSize.Observe(float64(n)) }
+
+	s.reg.Gauge("habfserved_filter_keys", "Positive keys currently represented.",
+		func() float64 { return float64(s.filter.Stats().Keys) })
+	s.reg.Gauge("habfserved_filter_size_bits", "Query-time footprint in bits.",
+		func() float64 { return float64(s.filter.SizeBits()) })
+	s.reg.Gauge("habfserved_filter_shards", "Shard count.",
+		func() float64 { return float64(s.filter.NumShards()) })
+	s.reg.Gauge("habfserved_filter_rebuilds", "Completed background rebuilds.",
+		func() float64 { return float64(s.filter.Stats().Rebuilds) })
+	s.reg.Gauge("habfserved_coalesce_batches", "Micro-batches dispatched.",
+		func() float64 { return float64(s.co.Stats().Batches) })
+	s.reg.Gauge("habfserved_coalesce_keys", "Keys answered through micro-batches.",
+		func() float64 { return float64(s.co.Stats().Keys) })
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/contains", s.handleContains)
+	mux.HandleFunc("/v1/contains_batch", s.handleContainsBatch)
+	mux.HandleFunc("/v1/add", s.handleAdd)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the root handler for use with an http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Coalescer exposes the coalescing layer (stats, direct benchmarking).
+func (s *Server) Coalescer() *Coalescer { return s.co }
+
+// Close drains the coalescing layer. Call after the http.Server has
+// stopped accepting requests (e.g. via Shutdown); handlers still running
+// during the drain keep getting correct answers on the direct path.
+func (s *Server) Close() { s.co.Close() }
+
+// Snapshot writes the filter's current state to path (or the configured
+// default when path is empty) via the crash-safe SaveFile.
+func (s *Server) Snapshot(path string) (string, time.Duration, error) {
+	if path == "" {
+		path = s.snapPath
+	}
+	if path == "" {
+		return "", 0, fmt.Errorf("server: no snapshot path configured")
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	start := time.Now()
+	if err := s.filter.SaveFile(path); err != nil {
+		return "", 0, err
+	}
+	return path, time.Since(start), nil
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	s.mErrors.Inc()
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+// readKey extracts the key from a contains/add request: raw bytes for
+// application/octet-stream, else JSON {"key": base64}.
+func readKey(r *http.Request) ([]byte, bool, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		return nil, false, err
+	}
+	if r.Header.Get("Content-Type") == "application/octet-stream" {
+		return body, true, nil
+	}
+	var req struct {
+		Key []byte `json:"key"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, false, fmt.Errorf("bad JSON body: %w", err)
+	}
+	if req.Key == nil {
+		return nil, false, fmt.Errorf(`missing "key"`)
+	}
+	return req.Key, false, nil
+}
+
+func (s *Server) handleContains(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	start := time.Now()
+	key, raw, err := readKey(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "contains: %v", err)
+		return
+	}
+	present := s.co.Contains(key)
+	s.mContains.Inc()
+	if raw {
+		if present {
+			io.WriteString(w, "1")
+		} else {
+			io.WriteString(w, "0")
+		}
+	} else {
+		writeJSON(w, map[string]bool{"present": present})
+	}
+	s.hContains.ObserveDuration(time.Since(start))
+}
+
+func (s *Server) handleContainsBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req struct {
+		Keys [][]byte `json:"keys"`
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "contains_batch: bad JSON body: %v", err)
+		return
+	}
+	if len(req.Keys) == 0 {
+		s.fail(w, http.StatusBadRequest, `contains_batch: missing "keys"`)
+		return
+	}
+	present := s.filter.ContainsBatch(req.Keys)
+	s.mContainsBatch.Inc()
+	s.mBatchKeys.Add(uint64(len(req.Keys)))
+	s.hBatchSize.Observe(float64(len(req.Keys)))
+	writeJSON(w, map[string][]bool{"present": present})
+}
+
+func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	key, raw, err := readKey(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "add: %v", err)
+		return
+	}
+	if len(key) == 0 {
+		s.fail(w, http.StatusBadRequest, "add: empty key")
+		return
+	}
+	s.filter.Add(key)
+	s.mAdd.Inc()
+	if raw {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, map[string]bool{"ok": true})
+}
+
+// statsResponse is the /v1/stats document.
+type statsResponse struct {
+	Name     string           `json:"name"`
+	Keys     uint64           `json:"keys"`
+	Added    uint64           `json:"added"`
+	Rebuilds uint64           `json:"rebuilds"`
+	SizeBits uint64           `json:"size_bits"`
+	Shards   []habf.ShardInfo `json:"shards"`
+	Coalesce CoalesceStats    `json:"coalesce"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	st := s.filter.Stats()
+	writeJSON(w, statsResponse{
+		Name:     s.filter.Name(),
+		Keys:     st.Keys,
+		Added:    st.Added,
+		Rebuilds: st.Rebuilds,
+		SizeBits: st.SizeBits,
+		Shards:   s.filter.ShardInfos(),
+		Coalesce: s.co.Stats(),
+	})
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req struct {
+		Path string `json:"path"`
+	}
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&req); err != nil {
+			s.fail(w, http.StatusBadRequest, "snapshot: bad JSON body: %v", err)
+			return
+		}
+	}
+	if req.Path == "" && s.snapPath == "" {
+		s.fail(w, http.StatusBadRequest, "snapshot: no path given and no default configured")
+		return
+	}
+	path, took, err := s.Snapshot(req.Path)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, "snapshot: %v", err)
+		return
+	}
+	s.mSnapshots.Inc()
+	writeJSON(w, map[string]any{
+		"path": path,
+		"ms":   float64(took.Microseconds()) / 1e3,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, "encode: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(b)))
+	w.Write(b)
+}

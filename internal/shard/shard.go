@@ -395,6 +395,42 @@ type Stats struct {
 	Restored int
 }
 
+// ShardInfo describes one shard at a point in time — the per-shard
+// detail behind Stats, for operational surfaces (a serving daemon's
+// stats endpoint) that want to see routing balance and drift per shard.
+type ShardInfo struct {
+	ID         int    `json:"id"`
+	Keys       int    `json:"keys"`       // positive keys represented
+	Added      uint64 `json:"added"`      // Adds not yet folded into a rebuild
+	Epoch      uint64 `json:"epoch"`      // mutation epoch (Adds + rebuild swaps)
+	SizeBits   uint64 `json:"size_bits"`  // query-time footprint
+	Restored   bool   `json:"restored"`   // serving a snapshot-restored filter
+	Rebuilding bool   `json:"rebuilding"` // background rebuild in flight
+}
+
+// ShardInfos samples every shard, one at a time (totals are approximate
+// under concurrent writes, like Stats).
+func (s *Set) ShardInfos() []ShardInfo {
+	out := make([]ShardInfo, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.RLock()
+		info := ShardInfo{
+			ID:         i,
+			Keys:       len(sh.positives),
+			Epoch:      sh.epoch.Load(),
+			Restored:   sh.restored,
+			Rebuilding: sh.rebuilding,
+		}
+		if sh.f != nil {
+			info.Added = sh.f.AddedKeys()
+			info.SizeBits = sh.f.SizeBits()
+		}
+		sh.mu.RUnlock()
+		out[i] = info
+	}
+	return out
+}
+
 // Stats snapshots the set. Shards are sampled one at a time, so totals
 // are approximate under concurrent writes.
 func (s *Set) Stats() Stats {

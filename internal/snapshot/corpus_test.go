@@ -1,0 +1,116 @@
+package snapshot_test
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"testing"
+
+	"repro/internal/fuzzcorpus"
+	"repro/internal/habf"
+	"repro/internal/shard"
+	"repro/internal/snapshot"
+)
+
+// fuzzSnapshotSeeds builds the hostile container inputs
+// FuzzUnmarshalSnapshot starts from; the same set is committed under
+// testdata/fuzz/FuzzUnmarshalSnapshot so the CI fuzz smoke starts from
+// real decoder edge cases.
+func fuzzSnapshotSeeds(tb testing.TB) map[string][]byte {
+	pos := make([][]byte, 300)
+	neg := make([]habf.WeightedKey, 300)
+	for i := range pos {
+		pos[i] = []byte(fmt.Sprintf("fz-pos-%04d", i))
+		neg[i] = habf.WeightedKey{Key: []byte(fmt.Sprintf("fz-neg-%04d", i)), Cost: float64(i%7 + 1)}
+	}
+	set, err := shard.New(pos, neg, shard.Config{Shards: 4, TotalBits: 300 * 12})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	snap, err := set.Snapshot()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	good, err := snap.MarshalBinary()
+	if err != nil {
+		tb.Fatal(err)
+	}
+
+	seeds := map[string][]byte{
+		"valid-container": good,
+		"empty":           {},
+		"magic-only":      []byte("HSNP"),
+		// Truncated mid-frame: header intact, tail gone.
+		"trunc-midframe": good[:len(good)/3],
+		// Truncated to just under the footer.
+		"trunc-footer": good[:len(good)-17],
+	}
+	// Corrupted payload byte: frame CRC must catch it.
+	crcBad := append([]byte(nil), good...)
+	crcBad[len(crcBad)/2] ^= 0x40
+	seeds["payload-bitrot"] = crcBad
+	// Corrupted frame CRC field itself (first frame header, bytes 16:20).
+	fieldBad := append([]byte(nil), good...)
+	fieldBad[64+16] ^= 0x01
+	seeds["crc-field-bitrot"] = fieldBad
+	// Header declaring a huge shard count, with the header CRC recomputed
+	// so the seed reaches the implausible-count allocation guard instead
+	// of dying on the CRC check.
+	huge := append([]byte(nil), good...)
+	huge[52], huge[53], huge[54], huge[55] = 0xFF, 0xFF, 0xFF, 0x7F
+	binary.LittleEndian.PutUint32(huge[60:64], crc32.Checksum(huge[:60], crc32.MakeTable(crc32.Castagnoli)))
+	seeds["huge-shard-count"] = huge
+	// Wrong container kind (CRC fixed up the same way): the type
+	// discriminator, not shard.Restore, must reject it.
+	wrongKind := append([]byte(nil), good...)
+	wrongKind[48] = 2 // KindFilterBlocks in a sharded-set restore path
+	binary.LittleEndian.PutUint32(wrongKind[60:64], crc32.Checksum(wrongKind[:60], crc32.MakeTable(crc32.Castagnoli)))
+	seeds["wrong-kind"] = wrongKind
+	return seeds
+}
+
+// snapshotCorpusDir is where the committed FuzzUnmarshalSnapshot seeds
+// live; `go test -fuzz` picks them up automatically.
+const snapshotCorpusDir = "testdata/fuzz/FuzzUnmarshalSnapshot"
+
+// TestSnapshotSeedCorpus keeps the committed seed corpus honest (see
+// TestFilterSeedCorpus in internal/habf for the scheme). Regenerate with
+//
+//	UPDATE_FUZZ_CORPUS=1 go test -run TestSnapshotSeedCorpus ./internal/snapshot
+func TestSnapshotSeedCorpus(t *testing.T) {
+	seeds := fuzzSnapshotSeeds(t)
+	if os.Getenv("UPDATE_FUZZ_CORPUS") != "" {
+		if err := fuzzcorpus.WriteDir(snapshotCorpusDir, seeds); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d seeds to %s", len(seeds), snapshotCorpusDir)
+	}
+	committed, err := fuzzcorpus.ReadDir(snapshotCorpusDir)
+	if err != nil {
+		t.Fatalf("reading corpus (regenerate with UPDATE_FUZZ_CORPUS=1): %v", err)
+	}
+	for _, name := range fuzzcorpus.Names(seeds) {
+		if _, ok := committed[name]; !ok {
+			t.Errorf("seed %q not committed (regenerate with UPDATE_FUZZ_CORPUS=1)", name)
+		}
+	}
+	for _, name := range fuzzcorpus.Names(committed) {
+		data := committed[name]
+		s, err := snapshot.Unmarshal(data)
+		if err != nil {
+			continue
+		}
+		restored, err := shard.Restore(s)
+		if err != nil {
+			continue
+		}
+		restored.Contains([]byte("probe"))
+		restored.Contains(nil)
+	}
+	if data, ok := committed["valid-container"]; ok {
+		if _, err := snapshot.Unmarshal(data); err != nil {
+			t.Errorf("committed valid-container seed rejected: %v (regenerate with UPDATE_FUZZ_CORPUS=1)", err)
+		}
+	}
+}

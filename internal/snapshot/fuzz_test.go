@@ -1,12 +1,9 @@
 package snapshot_test
 
 import (
-	"encoding/binary"
-	"fmt"
-	"hash/crc32"
 	"testing"
 
-	"repro/internal/habf"
+	"repro/internal/fuzzcorpus"
 	"repro/internal/shard"
 	"repro/internal/snapshot"
 )
@@ -18,53 +15,10 @@ import (
 // against len(data) before any make). Accepted containers must restore
 // into a set whose queries do not panic.
 func FuzzUnmarshalSnapshot(f *testing.F) {
-	pos := make([][]byte, 300)
-	neg := make([]habf.WeightedKey, 300)
-	for i := range pos {
-		pos[i] = []byte(fmt.Sprintf("fz-pos-%04d", i))
-		neg[i] = habf.WeightedKey{Key: []byte(fmt.Sprintf("fz-neg-%04d", i)), Cost: float64(i%7 + 1)}
+	seeds := fuzzSnapshotSeeds(f)
+	for _, name := range fuzzcorpus.Names(seeds) {
+		f.Add(seeds[name])
 	}
-	set, err := shard.New(pos, neg, shard.Config{Shards: 4, TotalBits: 300 * 12})
-	if err != nil {
-		f.Fatal(err)
-	}
-	snap, err := set.Snapshot()
-	if err != nil {
-		f.Fatal(err)
-	}
-	good, err := snap.MarshalBinary()
-	if err != nil {
-		f.Fatal(err)
-	}
-
-	f.Add(good)
-	f.Add([]byte{})
-	f.Add([]byte("HSNP"))
-	// Truncated mid-frame: header intact, tail gone.
-	f.Add(good[:len(good)/3])
-	// Truncated to just under the footer.
-	f.Add(good[:len(good)-17])
-	// Corrupted payload byte: frame CRC must catch it.
-	crcBad := append([]byte(nil), good...)
-	crcBad[len(crcBad)/2] ^= 0x40
-	f.Add(crcBad)
-	// Corrupted frame CRC field itself (first frame header, bytes 16:20).
-	fieldBad := append([]byte(nil), good...)
-	fieldBad[64+16] ^= 0x01
-	f.Add(fieldBad)
-	// Header declaring a huge shard count, with the header CRC recomputed
-	// so the seed reaches the implausible-count allocation guard instead
-	// of dying on the CRC check.
-	huge := append([]byte(nil), good...)
-	huge[52], huge[53], huge[54], huge[55] = 0xFF, 0xFF, 0xFF, 0x7F
-	binary.LittleEndian.PutUint32(huge[60:64], crc32.Checksum(huge[:60], crc32.MakeTable(crc32.Castagnoli)))
-	f.Add(huge)
-	// Wrong container kind (CRC fixed up the same way): the type
-	// discriminator, not shard.Restore, must reject it.
-	wrongKind := append([]byte(nil), good...)
-	wrongKind[48] = 2 // KindFilterBlocks in a sharded-set restore path
-	binary.LittleEndian.PutUint32(wrongKind[60:64], crc32.Checksum(wrongKind[:60], crc32.MakeTable(crc32.Castagnoli)))
-	f.Add(wrongKind)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := snapshot.Unmarshal(data)

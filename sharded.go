@@ -109,6 +109,15 @@ type ShardStats = shard.Stats
 // Stats snapshots per-shard totals (keys, pending Adds, rebuilds, size).
 func (s *Sharded) Stats() ShardStats { return s.set.Stats() }
 
+// ShardInfo is the per-shard detail behind Stats (keys, drift, mutation
+// epoch, restore/rebuild state) — what a serving daemon's stats endpoint
+// reports per shard.
+type ShardInfo = shard.ShardInfo
+
+// ShardInfos samples every shard one at a time; totals are approximate
+// under concurrent writes.
+func (s *Sharded) ShardInfos() []ShardInfo { return s.set.ShardInfos() }
+
 // Save writes a snapshot of the filter's serving state to w: a
 // versioned, checksummed container (magic, per-shard CRC32C frames,
 // footer with offsets) wrapping each shard's wire format. Save coexists
