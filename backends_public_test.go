@@ -1,0 +1,76 @@
+package habf_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	habf "repro"
+)
+
+// TestPublicBackends exercises the backend surface of the public API:
+// Backends() lists the registry, WithBackend selects a family for the
+// whole serving stack, Backend() reports it, and Save/Load round-trips
+// it — with zero false negatives everywhere.
+func TestPublicBackends(t *testing.T) {
+	names := habf.Backends()
+	if len(names) < 3 {
+		t.Fatalf("Backends() = %v, want at least habf, bloom, xor", names)
+	}
+
+	const n = 2000
+	positives := make([][]byte, n)
+	negatives := make([]habf.WeightedKey, n)
+	for i := 0; i < n; i++ {
+		positives[i] = []byte(fmt.Sprintf("pub-member-%06d", i))
+		negatives[i] = habf.WeightedKey{Key: []byte(fmt.Sprintf("pub-absent-%06d", i)), Cost: float64(i%5 + 1)}
+	}
+
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			s, err := habf.NewSharded(positives, negatives, 12*n,
+				habf.WithShards(4), habf.WithBackend(name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Backend() != name {
+				t.Fatalf("Backend() = %q, want %q", s.Backend(), name)
+			}
+			for _, key := range positives {
+				if !s.Contains(key) {
+					t.Fatalf("false negative for %q", key)
+				}
+			}
+			s.Add([]byte("pub-added"))
+			if !s.Contains([]byte("pub-added")) {
+				t.Fatal("added key not queryable")
+			}
+
+			path := filepath.Join(t.TempDir(), "pub.snap")
+			if err := s.SaveFile(path); err != nil {
+				t.Fatal(err)
+			}
+			g, err := habf.LoadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.Backend() != name {
+				t.Fatalf("restored Backend() = %q, want %q", g.Backend(), name)
+			}
+			for _, key := range positives {
+				if !g.Contains(key) {
+					t.Fatalf("restored set lost %q", key)
+				}
+			}
+			if !g.Contains([]byte("pub-added")) {
+				t.Fatal("restored set lost the added key")
+			}
+			s.WaitRebuilds()
+		})
+	}
+
+	if _, err := habf.NewSharded(positives, negatives, 12*n, habf.WithBackend("no-such")); err == nil {
+		t.Fatal("NewSharded accepted an unknown backend")
+	}
+}

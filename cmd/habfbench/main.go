@@ -7,9 +7,11 @@
 //	habfbench -fig fig10 [-scale 1.0] [-seed 1]
 //	habfbench -all [-scale 0.25]
 //	habfbench -serve [-shards 8] [-dist zipfian] [-batch 256] [-workers 4] [-writers 1]
+//	habfbench -serve -backend xor                 # serve a baseline filter family
 //	habfbench -serve -snapshot filter.snap        # build, then checkpoint
 //	habfbench -serve -restore filter.snap         # restore instead of building
 //	habfbench -net [-clients 8] [-dist zipfian] [-benchjson BENCH_serve.json]
+//	habfbench -net -backend habf,bloom,xor        # compare backends on identical traffic
 //	habfbench -net -addr host:8080                # drive a running habfserved
 //
 // Scale 1.0 runs 40 k Shalla keys and 100 k YCSB keys per side with the
@@ -27,6 +29,10 @@
 // throughput and latency percentiles, and optionally write the
 // machine-readable BENCH_serve.json that CI's regression gate compares
 // against the committed baseline.
+// Both serving modes take -backend: -serve benchmarks one filter family
+// per run, and -net accepts a comma-separated list so HABF, Bloom and
+// Xor are compared as serving backends under identical workloads
+// (non-default backends get a /name suffix on their scenarios).
 package main
 
 import (
@@ -47,6 +53,7 @@ func main() {
 		seed  = flag.Int64("seed", 1, "workload and construction seed")
 
 		serve    = flag.Bool("serve", false, "run the serving-layer throughput benchmark")
+		backend  = flag.String("backend", "", "serve/net: filter backend (net: comma-separated list; default habf)")
 		shards   = flag.Int("shards", 8, "serve: shard count (rounded up to a power of two)")
 		dist     = flag.String("dist", "zipfian", "serve: key distribution (uniform|zipfian|sequential|latest)")
 		keys     = flag.Int("keys", 100000, "serve: positive/negative keys per side")
@@ -78,6 +85,7 @@ func main() {
 		}
 		cfg := netConfig{
 			addr:      *addr,
+			backends:  *backend,
 			keys:      netKeys,
 			clients:   *clients,
 			ops:       netOps,
@@ -98,6 +106,7 @@ func main() {
 	case *serve:
 		cfg := serveConfig{
 			keys:     *keys,
+			backend:  *backend,
 			shards:   *shards,
 			batch:    *batch,
 			workers:  *workers,

@@ -9,6 +9,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -25,6 +26,7 @@ import (
 // throughput and latency percentiles.
 type netConfig struct {
 	addr      string // remote daemon base URL host:port; empty = in-process self-test
+	backends  string // comma-separated backend names for the self-test ("" = habf)
 	keys      int
 	clients   int
 	ops       int
@@ -77,10 +79,17 @@ func runNet(cfg netConfig, w io.Writer) error {
 		cfg.keys, dist, cfg.clients, cfg.batch, cfg.writers, runtime.GOMAXPROCS(0))
 
 	if cfg.addr != "" {
-		// Remote daemon: its coalescing configuration is whatever it was
-		// started with, so there is a single contains scenario.
+		// Remote daemon: its coalescing configuration and backend are
+		// whatever it was started with, so there is a single contains
+		// scenario. The server-reported backend makes the artifact
+		// self-describing.
 		g.base = "http://" + cfg.addr
-		fmt.Fprintf(w, "target: %s (remote)\n\n", g.base)
+		name, backend, err := g.serverIdentity()
+		if err != nil {
+			return fmt.Errorf("net: query remote /v1/stats: %w", err)
+		}
+		g.noteBackends = backend
+		fmt.Fprintf(w, "target: %s (remote, %s, backend %s)\n\n", g.base, name, backend)
 		if err := g.scenario("net/contains", g.containsLoop, false); err != nil {
 			return err
 		}
@@ -95,41 +104,69 @@ func runNet(cfg netConfig, w io.Writer) error {
 		return g.finish()
 	}
 
-	// Self-test: build the filter once and serve it in-process, first
-	// with coalescing disabled, then enabled, so the uncoalesced and
-	// coalesced request paths are compared on identical traffic.
-	start := time.Now()
-	filter, err := habf.NewSharded(data.Positives, negatives, uint64(10*cfg.keys),
-		habf.WithShards(cfg.shards))
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "target: in-process self-test (%d shards, built in %v)\n\n",
-		filter.NumShards(), time.Since(start).Round(time.Millisecond))
+	// Self-test: for each requested backend, build the filter once and
+	// serve it in-process, first with coalescing disabled, then enabled,
+	// so the uncoalesced and coalesced request paths — and the backends
+	// themselves — are compared on identical traffic. The default habf
+	// backend keeps the historical unsuffixed scenario names, so
+	// committed baselines stay comparable; other backends are suffixed
+	// "/<name>".
+	g.noteBackends = cfg.backendList()
+	for _, backendName := range strings.Split(cfg.backendList(), ",") {
+		backendName = strings.TrimSpace(backendName)
+		if backendName == "" {
+			continue // stray comma in the -backend list
+		}
+		suffix := ""
+		if backendName != "habf" {
+			suffix = "/" + backendName
+		}
 
-	run := func(name string, coalesce server.CoalesceConfig, loop loopFunc, withWriters bool) error {
-		stop, err := g.startServer(filter, coalesce)
+		start := time.Now()
+		filter, err := habf.NewSharded(data.Positives, negatives, uint64(10*cfg.keys),
+			habf.WithShards(cfg.shards), habf.WithBackend(backendName))
 		if err != nil {
+			return fmt.Errorf("net: build %s: %w", backendName, err)
+		}
+		fmt.Fprintf(w, "target: in-process self-test (%d shards, backend %s, built in %v)\n\n",
+			filter.NumShards(), filter.Backend(), time.Since(start).Round(time.Millisecond))
+
+		run := func(name string, coalesce server.CoalesceConfig, loop loopFunc, withWriters bool) error {
+			stop, err := g.startServer(filter, coalesce)
+			if err != nil {
+				return err
+			}
+			defer stop()
+			if reported := g.lastBackend; reported != "" && reported != backendName {
+				return fmt.Errorf("net: server reports backend %q, built %q", reported, backendName)
+			}
+			return g.scenario(name+suffix, loop, withWriters)
+		}
+		if err := run("net/contains/uncoalesced", server.CoalesceConfig{Disabled: true}, g.containsLoop, false); err != nil {
 			return err
 		}
-		defer stop()
-		return g.scenario(name, loop, withWriters)
-	}
-	if err := run("net/contains/uncoalesced", server.CoalesceConfig{Disabled: true}, g.containsLoop, false); err != nil {
-		return err
-	}
-	if err := run("net/contains/coalesced", server.CoalesceConfig{}, g.containsLoop, false); err != nil {
-		return err
-	}
-	if err := run("net/contains_batch", server.CoalesceConfig{Disabled: true}, g.batchLoop, false); err != nil {
-		return err
-	}
-	if cfg.writers > 0 {
-		if err := run("net/contains/coalesced+writers", server.CoalesceConfig{}, g.containsLoop, true); err != nil {
+		if err := run("net/contains/coalesced", server.CoalesceConfig{}, g.containsLoop, false); err != nil {
 			return err
 		}
+		if err := run("net/contains_batch", server.CoalesceConfig{Disabled: true}, g.batchLoop, false); err != nil {
+			return err
+		}
+		if cfg.writers > 0 {
+			if err := run("net/contains/coalesced+writers", server.CoalesceConfig{}, g.containsLoop, true); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintln(w)
 	}
 	return g.finish()
+}
+
+// backendList normalizes the -backend flag for the self-test loop.
+func (cfg netConfig) backendList() string {
+	if cfg.backends == "" {
+		return "habf"
+	}
+	return cfg.backends
 }
 
 // netGen holds load-generator state shared across scenarios.
@@ -142,6 +179,34 @@ type netGen struct {
 	results   []benchfmt.Result
 	writersWG sync.WaitGroup
 	stopWrite chan struct{}
+	// lastBackend is the backend the most recently started in-process
+	// server reported via /v1/stats — a self-check that the bench drives
+	// what it thinks it does. noteBackends names the backend(s) driven,
+	// for the benchjson artifact.
+	lastBackend  string
+	noteBackends string
+}
+
+// serverIdentity asks the target's /v1/stats for its filter name and
+// backend, so bench output and artifacts are self-describing. It rides
+// the generator's own transport (keep-alive pool, deferred cleanup)
+// with a timeout, so a hung target fails the probe instead of wedging
+// the whole run.
+func (g *netGen) serverIdentity() (name, backend string, err error) {
+	hc := &http.Client{Transport: g.transport, Timeout: 10 * time.Second}
+	resp, err := hc.Get(g.base + "/v1/stats")
+	if err != nil {
+		return "", "", err
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Name    string `json:"name"`
+		Backend string `json:"backend"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return "", "", err
+	}
+	return st.Name, st.Backend, nil
 }
 
 // loopFunc runs one client's share of a scenario: n keys from probes,
@@ -163,6 +228,10 @@ func (g *netGen) startServer(filter *habf.Sharded, coalesce server.CoalesceConfi
 	hs := &http.Server{Handler: srv.Handler()}
 	go hs.Serve(l)
 	g.base = "http://" + l.Addr().String()
+	g.lastBackend = "" // never let a previous server's identity leak
+	if _, backend, err := g.serverIdentity(); err == nil {
+		g.lastBackend = backend
+	}
 	return func() {
 		hs.Close()
 		srv.Close()
@@ -371,7 +440,7 @@ func (g *netGen) finish() error {
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 		CPUs:      runtime.NumCPU(),
-		Note:      fmt.Sprintf("habfbench -net: %d keys, %s access, %d clients, batch %d", g.cfg.keys, g.cfg.dist, g.cfg.clients, g.cfg.batch),
+		Note:      fmt.Sprintf("habfbench -net: %d keys, %s access, %d clients, batch %d, backends %s", g.cfg.keys, g.cfg.dist, g.cfg.clients, g.cfg.batch, g.noteBackends),
 		Results:   g.results,
 	}
 	if err := benchfmt.Write(g.cfg.benchjson, f); err != nil {

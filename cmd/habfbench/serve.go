@@ -18,6 +18,7 @@ import (
 // writers exercising the Add path (per-shard locks, no external locking).
 type serveConfig struct {
 	keys     int
+	backend  string // filter backend of the sharded set ("" = habf)
 	shards   int
 	batch    int
 	workers  int
@@ -66,19 +67,24 @@ func runServe(cfg serveConfig, w io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("restore: %w", err)
 		}
+		if cfg.backend != "" && sharded.Backend() != cfg.backend {
+			return fmt.Errorf("restore: snapshot holds a %q filter, but -backend %q was requested",
+				sharded.Backend(), cfg.backend)
+		}
 		shardedBuild = time.Since(start)
 		restored = true
 	} else {
 		start = time.Now()
-		sharded, err = habf.NewSharded(data.Positives, negatives, bits, habf.WithShards(cfg.shards))
+		sharded, err = habf.NewSharded(data.Positives, negatives, bits,
+			habf.WithShards(cfg.shards), habf.WithBackend(cfg.backend))
 		if err != nil {
 			return err
 		}
 		shardedBuild = time.Since(start)
 	}
 
-	fmt.Fprintf(w, "serve: %d keys, %s access, %d shards, batch %d, %d query workers, %d writers, GOMAXPROCS %d\n",
-		cfg.keys, dist, sharded.NumShards(), cfg.batch, cfg.workers, cfg.writers, runtime.GOMAXPROCS(0))
+	fmt.Fprintf(w, "serve: %d keys, %s access, %d shards, backend %s, batch %d, %d query workers, %d writers, GOMAXPROCS %d\n",
+		cfg.keys, dist, sharded.NumShards(), sharded.Backend(), cfg.batch, cfg.workers, cfg.writers, runtime.GOMAXPROCS(0))
 	if restored {
 		fmt.Fprintf(w, "build: single %v, sharded restored from %s in %v (%.0f× vs single build)\n\n",
 			singleBuild.Round(time.Millisecond), cfg.restore, shardedBuild.Round(time.Microsecond),
@@ -86,6 +92,23 @@ func runServe(cfg serveConfig, w io.Writer) error {
 	} else {
 		fmt.Fprintf(w, "build: single %v, sharded %v (parallel shard construction)\n\n",
 			singleBuild.Round(time.Millisecond), shardedBuild.Round(time.Millisecond))
+	}
+
+	if !restored {
+		// Accuracy line for the backend selection matrix: plain and
+		// cost-weighted FPR over the known (zipf-weighted, adversarial)
+		// negatives. Restored sets skip it only to keep -restore runs
+		// byte-input-only.
+		fpr, err := habf.FPR(sharded, data.Negatives)
+		if err != nil {
+			return err
+		}
+		wfpr, err := habf.WeightedFPR(sharded, data.Negatives, costs)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "accuracy: %.2f bits/key, FPR %.4f%%, weighted FPR %.4f%% over %d known negatives\n\n",
+			float64(sharded.SizeBits())/float64(cfg.keys), 100*fpr, 100*wfpr, cfg.keys)
 	}
 
 	if cfg.snapshot != "" {

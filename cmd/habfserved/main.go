@@ -9,11 +9,18 @@
 //
 //	habfserved -restore filter.snap [-addr :8080] [-snapshot filter.snap -snapshot-on-exit]
 //	habfserved -keys 100000 [-shards 8] [-seed 1]       # synthetic filter, for demos/load tests
+//	habfserved -keys 100000 -backend xor                # serve a baseline filter family
 //
 // The filter comes from one of two sources: -restore loads a snapshot
 // produced by habf.SaveFile (zero-copy, query-ready in milliseconds), or
 // a synthetic -keys filter is built at startup from the deterministic
 // YCSB-style key generator (the same keys `habfbench -net` probes with).
+//
+// -backend selects the filter family (habf, bloom, xor, ...) a synthetic
+// filter is built with; restores auto-detect the family from the
+// snapshot header, and an explicit -backend that contradicts the file
+// is a startup error rather than a misdecode. The active backend is
+// reported in /v1/stats and /metrics.
 //
 // Shutdown is graceful: on SIGINT/SIGTERM the listener stops accepting,
 // in-flight requests and coalesced batches drain, and with
@@ -28,6 +35,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -41,6 +49,7 @@ func main() {
 		addr     = flag.String("addr", ":8080", "listen address")
 		restore  = flag.String("restore", "", "restore the filter from this snapshot at startup")
 		keys     = flag.Int("keys", 0, "build a synthetic filter with this many keys per side (when not restoring)")
+		backend  = flag.String("backend", "", "filter backend: "+strings.Join(habf.Backends(), "|")+" (default habf; restores auto-detect and must match when set)")
 		shards   = flag.Int("shards", 8, "shard count for a synthetic filter (rounded up to a power of two)")
 		seed     = flag.Int64("seed", 1, "seed for the synthetic filter's keys and construction")
 		bits     = flag.Float64("bits", 10, "bits per key for a synthetic filter")
@@ -56,7 +65,7 @@ func main() {
 	)
 	flag.Parse()
 	if err := run(config{
-		addr: *addr, restore: *restore, keys: *keys, shards: *shards,
+		addr: *addr, restore: *restore, keys: *keys, backend: *backend, shards: *shards,
 		seed: *seed, bits: *bits, snapPath: *snapPath, snapExit: *snapExit,
 		drainTimeout: *drainTimeout,
 		coalesce: server.CoalesceConfig{
@@ -76,6 +85,7 @@ type config struct {
 	addr         string
 	restore      string
 	keys         int
+	backend      string
 	shards       int
 	seed         int64
 	bits         float64
@@ -93,9 +103,16 @@ func buildFilter(cfg config) (*habf.Sharded, error) {
 		if err != nil {
 			return nil, fmt.Errorf("restore %s: %w", cfg.restore, err)
 		}
+		// Load dispatches by the backend recorded in the snapshot header;
+		// an explicit -backend that contradicts the file is an operator
+		// error worth failing on, not silently serving the wrong family.
+		if cfg.backend != "" && f.Backend() != cfg.backend {
+			return nil, fmt.Errorf("restore %s: snapshot holds a %q filter, but -backend %q was requested",
+				cfg.restore, f.Backend(), cfg.backend)
+		}
 		st := f.Stats()
-		fmt.Fprintf(os.Stderr, "habfserved: restored %s in %v (%d shards, %.1f KiB)\n",
-			cfg.restore, time.Since(start).Round(time.Millisecond), st.Shards, float64(st.SizeBits)/8/1024)
+		fmt.Fprintf(os.Stderr, "habfserved: restored %s in %v (%d shards, backend %s, %.1f KiB)\n",
+			cfg.restore, time.Since(start).Round(time.Millisecond), st.Shards, f.Backend(), float64(st.SizeBits)/8/1024)
 		return f, nil
 	}
 	if cfg.keys <= 0 {
@@ -109,12 +126,13 @@ func buildFilter(cfg config) (*habf.Sharded, error) {
 		negatives[i] = habf.WeightedKey{Key: data.Negatives[i], Cost: costs[i]}
 	}
 	f, err := habf.NewSharded(data.Positives, negatives, uint64(cfg.bits*float64(cfg.keys)),
-		habf.WithShards(cfg.shards), habf.WithShardFilterOptions(habf.WithSeed(cfg.seed)))
+		habf.WithShards(cfg.shards), habf.WithBackend(cfg.backend),
+		habf.WithShardFilterOptions(habf.WithSeed(cfg.seed)))
 	if err != nil {
 		return nil, fmt.Errorf("build: %w", err)
 	}
-	fmt.Fprintf(os.Stderr, "habfserved: built synthetic filter over %d keys in %v (%d shards)\n",
-		cfg.keys, time.Since(start).Round(time.Millisecond), f.NumShards())
+	fmt.Fprintf(os.Stderr, "habfserved: built synthetic %s filter over %d keys in %v (%d shards)\n",
+		f.Backend(), cfg.keys, time.Since(start).Round(time.Millisecond), f.NumShards())
 	return f, nil
 }
 

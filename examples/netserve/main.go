@@ -78,6 +78,12 @@ func main() {
 	base := "http://" + l.Addr().String()
 	fmt.Fprintf(os.Stderr, "serving on %s\n", base)
 
+	// Act 0: ask the server what it is serving. The reported backend and
+	// filter name make every artifact produced against this server
+	// self-describing (habfbench -net prints the same line).
+	srvName, srvBackend := serverIdentity(base)
+	fmt.Printf("server reports backend %q (%s)\n", srvBackend, srvName)
+
 	// Act 1: single-key queries over HTTP, both body forms. Members must
 	// always answer true; known negatives are counted as the observed
 	// false-positive tally.
@@ -154,6 +160,22 @@ func main() {
 
 	st := srv.Coalescer().Stats()
 	fmt.Fprintf(os.Stderr, "coalescer: %d keys in %d batches (mean %.1f)\n", st.Keys, st.Batches, st.MeanBatch())
+}
+
+func serverIdentity(base string) (name, backend string) {
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Name    string `json:"name"`
+		Backend string `json:"backend"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		log.Fatal(err)
+	}
+	return st.Name, st.Backend
 }
 
 func containsJSON(base string, key []byte) bool {

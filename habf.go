@@ -47,6 +47,15 @@
 //	s.Add([]byte("new-member"))        // concurrent with queries
 //	hits := s.ContainsBatch(requests)  // one result per request
 //
+// The serving stack is generic over a pluggable filter backend
+// (internal/filtercore): WithBackend selects the family every shard is
+// built with — "habf" (default), "bloom" (standard Bloom, mutable) or
+// "xor" (Xor filter, static; Adds are buffered as pending and absorbed
+// by the next rebuild) — and sharding, batching, snapshots and the
+// habfserved daemon all work identically across them. Backends lists
+// the registry; Sharded.Backend reports the active one, and snapshots
+// record it so Load restores through the right decoder.
+//
 // ContainsBatch — available on both *HABF and *Sharded — groups a batch
 // of keys by shard, takes each shard's lock once, and reuses one scratch
 // buffer per group; under skewed (zipfian) request streams it is the

@@ -1,0 +1,76 @@
+package filtercore
+
+import (
+	"sync/atomic"
+
+	"repro/internal/bloom"
+	"repro/internal/habf"
+)
+
+// bloomBackend adapts the standard Bloom filter baseline to the Backend
+// interface. It is mutable (Add sets bits) but cost-oblivious: the
+// shard's weighted negatives are ignored. The backend always uses the
+// XXH128 double-hashing strategy — the fastest of the paper's three
+// Bloom flavours and the one with no corpus-size cap on k.
+type bloomBackend struct {
+	f *bloom.Filter
+	// added counts post-construction Adds; the underlying filter only
+	// tracks the total insert count.
+	added atomic.Uint64
+}
+
+var _ Backend = (*bloomBackend)(nil)
+
+func (b *bloomBackend) Contains(key []byte) bool       { return b.f.Contains(key) }
+func (b *bloomBackend) AddedKeys() uint64              { return b.added.Load() }
+func (b *bloomBackend) Name() string                   { return b.f.Name() }
+func (b *bloomBackend) SizeBits() uint64               { return b.f.SizeBits() }
+func (b *bloomBackend) Kind() Kind                     { return KindBloom }
+func (b *bloomBackend) MarshalBinary() ([]byte, error) { return b.f.MarshalBinary() }
+func (b *bloomBackend) WireAlignOffset() int           { return bloom.WireAlignOffset }
+func (b *bloomBackend) Borrowed() bool                 { return b.f.Borrowed() }
+
+func (b *bloomBackend) ContainsBatch(keys [][]byte) []bool {
+	out := make([]bool, len(keys))
+	for i, key := range keys {
+		out[i] = b.f.Contains(key)
+	}
+	return out
+}
+
+func (b *bloomBackend) Add(key []byte) error {
+	b.f.Add(key)
+	b.added.Add(1)
+	return nil
+}
+
+func init() {
+	Register(Factory{
+		Name:      "bloom",
+		Kind:      KindBloom,
+		Static:    false,
+		InnerName: func(habf.Params) string { return bloom.StrategySplit128.String() },
+		Build: func(positives [][]byte, _ []habf.WeightedKey, cfg BuildConfig) (Backend, error) {
+			bitsPerKey := float64(cfg.TotalBits) / float64(len(positives))
+			f, err := bloom.NewWithKeys(positives, bitsPerKey, bloom.StrategySplit128)
+			if err != nil {
+				return nil, err
+			}
+			return &bloomBackend{f: f}, nil
+		},
+		Unmarshal: func(data []byte) (Backend, error) {
+			f, err := bloom.UnmarshalFilter(data)
+			if err != nil {
+				return nil, err
+			}
+			return &bloomBackend{f: f}, nil
+		},
+		UnmarshalBorrow: func(data []byte) (Backend, error) {
+			f, err := bloom.UnmarshalFilterBorrow(data)
+			if err != nil {
+				return nil, err
+			}
+			return &bloomBackend{f: f}, nil
+		},
+	})
+}

@@ -1,0 +1,73 @@
+package filtercore
+
+import (
+	"repro/internal/habf"
+)
+
+// habfBackend adapts *habf.Filter — the paper's Hash Adaptive Bloom
+// Filter — to the Backend interface. It is the default backend and the
+// only cost-aware one: construction runs the TPJO optimization over the
+// shard's weighted negatives.
+type habfBackend struct {
+	f *habf.Filter
+}
+
+var _ Backend = (*habfBackend)(nil)
+
+func (b *habfBackend) Contains(key []byte) bool           { return b.f.Contains(key) }
+func (b *habfBackend) ContainsBatch(keys [][]byte) []bool { return b.f.ContainsBatch(keys) }
+func (b *habfBackend) AddedKeys() uint64                  { return b.f.AddedKeys() }
+func (b *habfBackend) Name() string                       { return b.f.Name() }
+func (b *habfBackend) SizeBits() uint64                   { return b.f.SizeBits() }
+func (b *habfBackend) Kind() Kind                         { return KindHABF }
+func (b *habfBackend) MarshalBinary() ([]byte, error)     { return b.f.MarshalBinary() }
+func (b *habfBackend) WireAlignOffset() int               { return habf.WireAlignOffset(b.f.K()) }
+func (b *habfBackend) Borrowed() bool                     { return b.f.Borrowed() }
+
+func (b *habfBackend) Add(key []byte) error {
+	b.f.Add(key)
+	return nil
+}
+
+// ContainsScratch exposes the allocation-free query form the sharded
+// batch path fast-cases on (see shard.containsChunk).
+func (b *habfBackend) ContainsScratch(key []byte, scratch []uint8) bool {
+	return b.f.ContainsScratch(key, scratch)
+}
+
+func init() {
+	Register(Factory{
+		Name:   "habf",
+		Kind:   KindHABF,
+		Static: false,
+		InnerName: func(p habf.Params) string {
+			if p.Fast {
+				return "f-HABF"
+			}
+			return "HABF"
+		},
+		Build: func(positives [][]byte, negatives []habf.WeightedKey, cfg BuildConfig) (Backend, error) {
+			p := cfg.Params
+			p.TotalBits = cfg.TotalBits
+			f, err := habf.New(positives, negatives, p)
+			if err != nil {
+				return nil, err
+			}
+			return &habfBackend{f: f}, nil
+		},
+		Unmarshal: func(data []byte) (Backend, error) {
+			f, err := habf.UnmarshalFilter(data)
+			if err != nil {
+				return nil, err
+			}
+			return &habfBackend{f: f}, nil
+		},
+		UnmarshalBorrow: func(data []byte) (Backend, error) {
+			f, err := habf.UnmarshalFilterBorrow(data)
+			if err != nil {
+				return nil, err
+			}
+			return &habfBackend{f: f}, nil
+		},
+	})
+}

@@ -147,7 +147,9 @@ func BenchmarkCoalesce(b *testing.B) {
 		if i%2 == 0 {
 			probes[i] = data.Negatives[(i*40503)%len(data.Negatives)]
 		} else {
-			probes[i] = data.Positives[(i*2654435761)%len(data.Positives)]
+			// uint64 arithmetic: the Knuth constant overflows int on
+			// 32-bit hosts (GOARCH=386 vet).
+			probes[i] = data.Positives[uint64(i)*2654435761%uint64(len(data.Positives))]
 		}
 	}
 	mask := len(probes) - 1

@@ -100,6 +100,9 @@ func New(cfg Config) (*Server, error) {
 		"Micro-batch sizes formed by the request coalescer.", metrics.SizeBuckets(1<<12))
 	s.co.onBatch = func(n int) { s.hCoalesceSize.Observe(float64(n)) }
 
+	s.reg.Gauge(fmt.Sprintf(`habfserved_backend_info{backend=%q,filter=%q}`, s.filter.Backend(), s.filter.Name()),
+		"Constant 1; labels identify the serving filter backend.",
+		func() float64 { return 1 })
 	s.reg.Gauge("habfserved_filter_keys", "Positive keys currently represented.",
 		func() float64 { return float64(s.filter.Stats().Keys) })
 	s.reg.Gauge("habfserved_filter_size_bits", "Query-time footprint in bits.",
@@ -254,8 +257,10 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 // statsResponse is the /v1/stats document.
 type statsResponse struct {
 	Name     string           `json:"name"`
+	Backend  string           `json:"backend"`
 	Keys     uint64           `json:"keys"`
 	Added    uint64           `json:"added"`
+	Pending  uint64           `json:"pending"`
 	Rebuilds uint64           `json:"rebuilds"`
 	SizeBits uint64           `json:"size_bits"`
 	Shards   []habf.ShardInfo `json:"shards"`
@@ -270,8 +275,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.filter.Stats()
 	writeJSON(w, statsResponse{
 		Name:     s.filter.Name(),
+		Backend:  s.filter.Backend(),
 		Keys:     st.Keys,
 		Added:    st.Added,
+		Pending:  st.Pending,
 		Rebuilds: st.Rebuilds,
 		SizeBits: st.SizeBits,
 		Shards:   s.filter.ShardInfos(),

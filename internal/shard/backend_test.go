@@ -1,0 +1,332 @@
+package shard
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/snapshot"
+)
+
+// backendsUnderTest honors the CI matrix's FILTERCORE_BACKEND isolation
+// (see internal/filtercore's conformance suite).
+func backendsUnderTest() []string {
+	if only := os.Getenv("FILTERCORE_BACKEND"); only != "" {
+		return []string{only}
+	}
+	return []string{"habf", "bloom", "xor"}
+}
+
+// requireBackend skips a backend-specific test when the CI matrix has
+// isolated the run to a different backend.
+func requireBackend(t *testing.T, backend string) {
+	if only := os.Getenv("FILTERCORE_BACKEND"); only != "" && only != backend {
+		t.Skipf("FILTERCORE_BACKEND=%s isolates this run", only)
+	}
+}
+
+// TestBackendsServeAndSnapshot runs the full shard-layer contract over
+// every registered backend: zero false negatives, batch parity, Adds
+// (absorbed or pending), snapshot → restore answering identically, and
+// restored-set Adds.
+func TestBackendsServeAndSnapshot(t *testing.T) {
+	for _, backend := range backendsUnderTest() {
+		backend := backend
+		t.Run(backend, func(t *testing.T) {
+			s, pos, negKeys := newSet(t, 4000, Config{Shards: 8, Backend: backend})
+			if got := s.Backend(); got != backend {
+				t.Fatalf("Backend() = %q, want %q", got, backend)
+			}
+			if !strings.Contains(s.Name(), "Sharded[8×") {
+				t.Fatalf("unexpected set name %q", s.Name())
+			}
+			for _, key := range pos {
+				if !s.Contains(key) {
+					t.Fatalf("false negative for %q", key)
+				}
+			}
+			probe := append(append([][]byte{}, pos[:800]...), negKeys[:800]...)
+			got := s.ContainsBatch(probe)
+			for i, key := range probe {
+				if want := s.Contains(key); got[i] != want {
+					t.Fatalf("key %q: batch=%v per-key=%v", key, got[i], want)
+				}
+			}
+
+			// Adds are queryable on return regardless of backend
+			// mutability (static backends serve them from the pending
+			// buffer until a rebuild absorbs them).
+			fresh := make([][]byte, 300)
+			for i := range fresh {
+				fresh[i] = []byte(fmt.Sprintf("late-%s-%06d", backend, i))
+				s.Add(fresh[i])
+				if !s.Contains(fresh[i]) {
+					t.Fatalf("key %q not visible immediately after Add", fresh[i])
+				}
+			}
+			for i, ok := range s.ContainsBatch(fresh) {
+				if !ok {
+					t.Fatalf("batch lost added key %d", i)
+				}
+			}
+
+			// Snapshot captures every acked Add — for a static backend
+			// that means absorbing the pending buffer first.
+			g := snapshotRoundtrip(t, s)
+			if g.Backend() != backend {
+				t.Fatalf("restored Backend() = %q, want %q", g.Backend(), backend)
+			}
+			if g.Name() != s.Name() {
+				t.Fatalf("restored name %q != %q", g.Name(), s.Name())
+			}
+			for _, key := range append(append([][]byte{}, pos...), fresh...) {
+				if !g.Contains(key) {
+					t.Fatalf("restored set lost %q", key)
+				}
+			}
+			if st := g.Stats(); st.Pending != 0 {
+				t.Fatalf("restored set starts with %d pending keys", st.Pending)
+			}
+			// Restored sets keep accepting Adds with zero false negatives.
+			for i := 0; i < 100; i++ {
+				key := []byte(fmt.Sprintf("post-restore-%06d", i))
+				g.Add(key)
+				if !g.Contains(key) {
+					t.Fatalf("restored set lost added key %q", key)
+				}
+			}
+			g.WaitRebuilds()
+			s.WaitRebuilds()
+		})
+	}
+}
+
+// TestStaticBackendPendingAbsorbedByRebuild pins the static-backend Add
+// path: keys land in the pending buffer, the drift rebuild absorbs them
+// into a fresh filter, and the buffer empties.
+func TestStaticBackendPendingAbsorbedByRebuild(t *testing.T) {
+	requireBackend(t, "xor")
+	s, pos, _ := newSet(t, 2000, Config{Shards: 4, Backend: "xor", RebuildThreshold: 0.01})
+	var fresh [][]byte
+	for i := 0; i < 400; i++ {
+		k := []byte(fmt.Sprintf("xor-late-%06d", i))
+		fresh = append(fresh, k)
+		s.Add(k)
+	}
+	s.WaitRebuilds()
+	st := s.Stats()
+	if st.Rebuilds == 0 {
+		t.Fatalf("expected rebuilds to absorb pending keys: %+v", st)
+	}
+	if st.RebuildErrors != 0 {
+		t.Fatalf("rebuild errors: %+v", st)
+	}
+	for _, key := range append(append([][]byte{}, pos...), fresh...) {
+		if !s.Contains(key) {
+			t.Fatalf("false negative for %q after rebuild", key)
+		}
+	}
+	// Re-adding an existing member must not wedge the xor build
+	// (duplicates are deduped by the backend).
+	s.Add(pos[0])
+	s.WaitRebuilds()
+	if got := s.Stats().RebuildErrors; got != 0 {
+		t.Fatalf("duplicate Add caused %d rebuild errors", got)
+	}
+}
+
+// TestStaticBackendSnapshotAbsorbsPending verifies the durability
+// contract with rebuilds disabled: everything still pending at Save
+// time is absorbed into the frames, and nothing stays pending after.
+func TestStaticBackendSnapshotAbsorbsPending(t *testing.T) {
+	requireBackend(t, "xor")
+	s, pos, _ := newSet(t, 1500, Config{Shards: 4, Backend: "xor", RebuildThreshold: -1})
+	var fresh [][]byte
+	for i := 0; i < 200; i++ {
+		k := []byte(fmt.Sprintf("pend-%06d", i))
+		fresh = append(fresh, k)
+		s.Add(k)
+	}
+	if st := s.Stats(); st.Pending == 0 {
+		t.Fatal("expected pending keys with rebuilds disabled")
+	}
+	g := snapshotRoundtrip(t, s)
+	for _, key := range append(append([][]byte{}, pos...), fresh...) {
+		if !g.Contains(key) {
+			t.Fatalf("snapshot dropped acked key %q", key)
+		}
+	}
+	// The absorb is a real rebuild: the source set has no pending left.
+	if st := s.Stats(); st.Pending != 0 {
+		t.Fatalf("%d keys still pending after snapshot", st.Pending)
+	}
+}
+
+// TestRestoredStaticBackendRefusesLossySnapshot: a restored xor set has
+// no key list, so pending Adds cannot be absorbed — Snapshot must fail
+// loudly instead of writing a snapshot that silently drops acked keys.
+func TestRestoredStaticBackendRefusesLossySnapshot(t *testing.T) {
+	requireBackend(t, "xor")
+	s, _, _ := newSet(t, 1000, Config{Shards: 2, Backend: "xor"})
+	g := snapshotRoundtrip(t, s)
+	g.Add([]byte("restored-pending-key"))
+	if !g.Contains([]byte("restored-pending-key")) {
+		t.Fatal("restored static set lost an added key")
+	}
+	if _, err := g.Snapshot(); err == nil {
+		t.Fatal("Snapshot of a restored static set with pending keys must fail")
+	}
+}
+
+// TestBackendMismatchFailsLoudly: a container stamped with one backend
+// kind must not decode through another backend's frame decoder.
+func TestBackendMismatchFailsLoudly(t *testing.T) {
+	requireBackend(t, "bloom")
+	s, _, _ := newSet(t, 1000, Config{Shards: 4, Backend: "bloom"})
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unknown kind: registry lookup must reject it.
+	snap.Meta.Backend = 0xEE
+	if _, err := Restore(snap); err == nil {
+		t.Fatal("Restore accepted an unknown backend kind")
+	}
+	// Cross-backend: HABF kind over bloom frames must fail at frame
+	// decode (wrong wire magic), not misparse.
+	snap.Meta.Backend = 0
+	if _, err := Restore(snap); err == nil {
+		t.Fatal("Restore misdecoded bloom frames as HABF")
+	}
+}
+
+// TestBackendsConcurrentAddAndQuery is the -race workout across
+// backends: readers, writers and rebuilds on the same set, including
+// the static pending path.
+func TestBackendsConcurrentAddAndQuery(t *testing.T) {
+	for _, backend := range backendsUnderTest() {
+		backend := backend
+		t.Run(backend, func(t *testing.T) {
+			s, pos, negKeys := newSet(t, 3000, Config{Shards: 8, Backend: backend, RebuildThreshold: 0.01})
+			const writers = 2
+			const perWriter = 250
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < perWriter; i++ {
+						s.Add([]byte(fmt.Sprintf("hot-%s-%d-%06d", backend, w, i)))
+					}
+				}(w)
+			}
+			for r := 0; r < 4; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					batch := make([][]byte, 0, 64)
+					for i := 0; i < 1500; i++ {
+						key := pos[(i*7+r)%len(pos)]
+						if !s.Contains(key) {
+							t.Errorf("false negative for %q under concurrency", key)
+							return
+						}
+						batch = append(batch, key, negKeys[(i*3+r)%len(negKeys)])
+						if len(batch) == cap(batch) {
+							for j, ok := range s.ContainsBatch(batch) {
+								if j%2 == 0 && !ok {
+									t.Errorf("batch false negative under concurrency")
+									return
+								}
+							}
+							batch = batch[:0]
+						}
+					}
+				}(r)
+			}
+			wg.Wait()
+			s.WaitRebuilds()
+			if st := s.Stats(); st.RebuildErrors != 0 {
+				t.Fatalf("rebuild errors: %+v", st)
+			}
+			for w := 0; w < writers; w++ {
+				for i := 0; i < perWriter; i++ {
+					key := []byte(fmt.Sprintf("hot-%s-%d-%06d", backend, w, i))
+					if !s.Contains(key) {
+						t.Fatalf("added key %q lost", key)
+					}
+				}
+			}
+			// Save under no traffic must capture everything, pending
+			// included.
+			g := snapshotRoundtrip(t, s)
+			for w := 0; w < writers; w++ {
+				for i := 0; i < perWriter; i++ {
+					key := []byte(fmt.Sprintf("hot-%s-%d-%06d", backend, w, i))
+					if !g.Contains(key) {
+						t.Fatalf("restored set lost %q", key)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotUnderConcurrentAddsAllBackends stresses Save racing
+// writers for every backend: every Add acked before Save begins must be
+// in the snapshot (the static path absorbs pending synchronously).
+func TestSnapshotUnderConcurrentAddsAllBackends(t *testing.T) {
+	for _, backend := range backendsUnderTest() {
+		backend := backend
+		t.Run(backend, func(t *testing.T) {
+			s, _, _ := newSet(t, 2000, Config{Shards: 4, Backend: backend, RebuildThreshold: 0.01})
+			// Acked before snapshot: must all be captured.
+			var acked [][]byte
+			for i := 0; i < 150; i++ {
+				k := []byte(fmt.Sprintf("acked-%06d", i))
+				acked = append(acked, k)
+				s.Add(k)
+			}
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+						s.Add([]byte(fmt.Sprintf("racing-%06d", i)))
+					}
+				}
+			}()
+			snap, err := s.Snapshot()
+			close(stop)
+			wg.Wait()
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, err := snap.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			decoded, err := snapshot.Unmarshal(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := Restore(decoded)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, key := range acked {
+				if !g.Contains(key) {
+					t.Fatalf("snapshot dropped acked key %q", key)
+				}
+			}
+			s.WaitRebuilds()
+		})
+	}
+}

@@ -1,9 +1,17 @@
-// Package shard partitions one logical HABF across N independent shards
-// so a filter service can use every core: shards build in parallel at
-// construction, Add takes a per-shard lock instead of a global one, and a
-// shard whose accuracy has drifted (too many post-construction Adds) is
-// rebuilt in the background and atomically swapped in while the other
-// shards keep serving.
+// Package shard partitions one logical filter across N independent
+// shards so a filter service can use every core: shards build in
+// parallel at construction, Add takes a per-shard lock instead of a
+// global one, and a shard whose accuracy has drifted (too many
+// post-construction Adds) is rebuilt in the background and atomically
+// swapped in while the other shards keep serving.
+//
+// The per-shard filter is a pluggable filtercore.Backend — HABF by
+// default, but any registered backend (standard Bloom, Xor, ...) serves
+// through the same routing, locking, rebuild and snapshot machinery.
+// Mutable backends absorb Adds directly; static backends (Xor) cannot,
+// so the shard buffers added keys as pending — still answered with zero
+// false negatives — until the existing rebuild-with-atomic-swap path
+// absorbs them into a fresh filter.
 //
 // Keys are routed by fingerprint prefix: the top bits of an independent
 // 64-bit key hash select the shard, so the per-shard positive and
@@ -12,7 +20,7 @@
 // families, keeping shard membership uncorrelated with in-shard bit
 // positions.
 //
-// Unlike a bare habf.Filter — whose Add must be externally synchronized
+// Unlike a bare filter — whose Add must be externally synchronized
 // against readers — a Set is safe for fully concurrent use: any number of
 // goroutines may call Contains/ContainsBatch/Add with no external
 // locking.
@@ -24,6 +32,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/filtercore"
 	"repro/internal/habf"
 	"repro/internal/hashes"
 )
@@ -38,13 +47,17 @@ type Config struct {
 	TotalBits uint64
 	// Params is the per-shard construction template. Its TotalBits field
 	// is ignored (the budget comes from Config.TotalBits); its Seed is
-	// perturbed per shard so shards hash independently.
+	// perturbed per shard so shards hash independently. Non-HABF
+	// backends use the fields that apply to them and ignore the rest.
 	Params habf.Params
 	// RebuildThreshold is the fraction of post-build Adds (relative to
 	// the keys present at the last build) that triggers a background
 	// rebuild of a shard. Zero means the 2% default; negative disables
 	// background rebuilds.
 	RebuildThreshold float64
+	// Backend names the registered filtercore backend every shard is
+	// built with. Empty means the default ("habf").
+	Backend string
 }
 
 // DefaultShards is the shard count when Config.Shards is zero.
@@ -58,13 +71,14 @@ const DefaultRebuildThreshold = 0.02
 // anything under 64 bits, and a tiny shard would be all false positives.
 const minShardBits = 128
 
-// Set is a sharded HABF. All methods are safe for concurrent use.
+// Set is a sharded filter. All methods are safe for concurrent use.
 type Set struct {
 	shards      []*shard
 	shift       uint // route = hash >> shift
 	routeSeed   uint64
 	threshold   float64
 	baseParams  habf.Params // construction template with the base seed
+	backend     *filtercore.Factory
 	bitsPerKey  float64
 	rebuilds    atomic.Uint64
 	rebuildErrs atomic.Uint64
@@ -80,13 +94,34 @@ type shard struct {
 	// side; atomic so Stats can read it lock-free.
 	epoch atomic.Uint64
 
+	// addMu serializes writers ahead of mu and is the only way the
+	// positives list grows: Add takes addMu then mu's write side, so a
+	// holder of addMu alone freezes the shard's key set while readers
+	// (who take only mu's read side) keep serving. Snapshot-time pending
+	// absorption uses exactly that — build outside every lock with
+	// writers queued, then a brief write-locked swap — to capture acked
+	// Adds without ever blocking readers. Lock order: addMu before mu.
+	addMu sync.Mutex
+
 	// mu guards every mutable field below. Readers (Contains) take the
 	// read side; Add and the rebuild swap take the write side.
-	mu         sync.RWMutex
-	f          *habf.Filter // nil while the shard has no positive keys
-	positives  [][]byte     // every key the shard answers true for
-	negatives  []habf.WeightedKey
-	baseline   int // len(positives) at the last (re)build
+	mu        sync.RWMutex
+	f         filtercore.Backend // nil while the shard has no positive keys
+	positives [][]byte           // every key the shard answers true for
+	negatives []habf.WeightedKey
+	// pending holds keys the current filter does not represent — Adds a
+	// static backend refused, or keys whose lazy build failed. Queries
+	// consult it after the filter, preserving zero false negatives; a
+	// rebuild absorbs it. Invariant under mu: every key in positives is
+	// either represented by f or present in pending.
+	pending  map[string]struct{}
+	baseline int // keys represented by f at the last (re)build
+	// builds counts filter swaps. A background rebuild records it at
+	// start and discards its result if another swap (a snapshot-time
+	// pending absorb, built from a longer key prefix) landed meanwhile —
+	// installing the stale filter would re-pend keys a static backend
+	// had already absorbed.
+	builds     uint64
 	rebuilding bool
 	// restored marks a shard whose filter came from a snapshot: its
 	// pre-snapshot key list is unknown, so a drift rebuild (which
@@ -104,8 +139,12 @@ func New(positives [][]byte, negatives []habf.WeightedKey, cfg Config) (*Set, er
 	if len(positives) == 0 {
 		return nil, fmt.Errorf("shard: empty positive key set")
 	}
+	backend, err := filtercore.ByName(cfg.Backend)
+	if err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
 	// Validate every negative up front, including those routed to shards
-	// that come up empty (habf.New would only see them on a later lazy
+	// that come up empty (the backend would only see them on a later lazy
 	// build, where there is no error channel back to the caller).
 	for i, wk := range negatives {
 		if wk.Cost < 0 {
@@ -134,6 +173,7 @@ func New(positives [][]byte, negatives []habf.WeightedKey, cfg Config) (*Set, er
 		routeSeed:  uint64(params.Seed)*0x2545f4914f6cdd1d + 0x9e3779b97f4a7c15,
 		threshold:  threshold,
 		baseParams: params,
+		backend:    backend,
 		bitsPerKey: float64(cfg.TotalBits) / float64(len(positives)),
 	}
 
@@ -209,13 +249,44 @@ func (s *Set) route(key []byte) int {
 
 // build constructs the shard's filter over the given keys with a budget
 // proportional to the key count.
-func (sh *shard) build(keys [][]byte) (*habf.Filter, error) {
-	p := sh.params
-	p.TotalBits = uint64(sh.bitsPerKey * float64(len(keys)))
-	if p.TotalBits < minShardBits {
-		p.TotalBits = minShardBits
+func (sh *shard) build(keys [][]byte) (filtercore.Backend, error) {
+	totalBits := uint64(sh.bitsPerKey * float64(len(keys)))
+	if totalBits < minShardBits {
+		totalBits = minShardBits
 	}
-	return habf.New(keys, sh.negatives, p)
+	return sh.set.backend.Build(keys, sh.negatives, filtercore.BuildConfig{
+		TotalBits: totalBits,
+		Params:    sh.params,
+	})
+}
+
+// addPending records a key the filter does not represent, under mu's
+// write side.
+func (sh *shard) addPending(key []byte) {
+	if sh.pending == nil {
+		sh.pending = make(map[string]struct{})
+	}
+	sh.pending[string(key)] = struct{}{}
+}
+
+// hasPending reports (under either lock side) whether key is buffered.
+func (sh *shard) hasPending(key []byte) bool {
+	if sh.pending == nil {
+		return false
+	}
+	_, ok := sh.pending[string(key)]
+	return ok
+}
+
+// drift counts post-build Adds not yet folded into a rebuild: keys the
+// mutable filter absorbed degraded plus keys a static filter left
+// pending.
+func (sh *shard) drift() uint64 {
+	var d uint64
+	if sh.f != nil {
+		d = sh.f.AddedKeys()
+	}
+	return d + uint64(len(sh.pending))
 }
 
 // Contains reports whether key may be a member. Safe for any number of
@@ -224,6 +295,9 @@ func (s *Set) Contains(key []byte) bool {
 	sh := s.shards[s.route(key)]
 	sh.mu.RLock()
 	ok := sh.f != nil && sh.f.Contains(key)
+	if !ok {
+		ok = sh.hasPending(key)
+	}
 	sh.mu.RUnlock()
 	return ok
 }
@@ -254,6 +328,13 @@ func (s *Set) ContainsBatch(keys [][]byte) []bool {
 // per-key locking.
 const maxChunkLocks = 64
 
+// scratchQuerier is the allocation-free query form HABF backends expose;
+// the chunk path uses it when available to reuse one scratch buffer
+// across the whole chunk.
+type scratchQuerier interface {
+	ContainsScratch(key []byte, scratch []uint8) bool
+}
+
 // containsChunk evaluates up to batchChunk keys under one lock round:
 // every shard's read lock is taken once, in ascending order, and the
 // whole chunk is evaluated with cached filter pointers and one reused
@@ -271,15 +352,31 @@ func (s *Set) containsChunk(out []bool, keys [][]byte) {
 		return
 	}
 
-	var filters [maxChunkLocks]*habf.Filter
+	var filters [maxChunkLocks]filtercore.Backend
+	var scratchers [maxChunkLocks]scratchQuerier
+	var pendings [maxChunkLocks]map[string]struct{}
 	for id := 0; id < n; id++ {
 		s.shards[id].mu.RLock()
 		filters[id] = s.shards[id].f
+		if sq, ok := filters[id].(scratchQuerier); ok {
+			scratchers[id] = sq
+		}
+		pendings[id] = s.shards[id].pending
 	}
 	var buf [32]uint8
 	for i, key := range keys {
-		f := filters[s.route(key)]
-		out[i] = f != nil && f.ContainsScratch(key, buf[:0])
+		id := s.route(key)
+		var ok bool
+		switch {
+		case scratchers[id] != nil:
+			ok = scratchers[id].ContainsScratch(key, buf[:0])
+		case filters[id] != nil:
+			ok = filters[id].Contains(key)
+		}
+		if !ok && pendings[id] != nil {
+			_, ok = pendings[id][string(key)]
+		}
+		out[i] = ok
 	}
 	for id := 0; id < n; id++ {
 		s.shards[id].mu.RUnlock()
@@ -288,31 +385,48 @@ func (s *Set) containsChunk(out []bool, keys [][]byte) {
 
 // Add inserts a key. It takes only the owning shard's lock; queries to
 // other shards proceed untouched, and once the shard's post-build Adds
-// exceed the rebuild threshold a background rebuild is kicked off.
+// exceed the rebuild threshold a background rebuild is kicked off. A
+// static backend's filter cannot absorb the key directly; it is buffered
+// as pending — queryable immediately, zero false negatives — until the
+// rebuild swap folds it in.
 func (s *Set) Add(key []byte) {
 	sh := s.shards[s.route(key)]
+	sh.addMu.Lock()
+	defer sh.addMu.Unlock()
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	sh.positives = append(sh.positives, key)
 	sh.epoch.Add(1)
 	if sh.f == nil {
 		// First key(s) ever routed here: build inline over everything
-		// accumulated so far (rare, tiny). Construction cannot fail —
-		// params were validated by the initial New, the budget is floored
-		// at minShardBits, and negative costs are validated up front —
-		// but if it ever does, count it and retry on the next Add, which
-		// re-enters this branch with the full pending key list.
+		// accumulated so far (rare, tiny). If construction fails (it
+		// cannot for HABF — params and costs were validated up front —
+		// but a static backend can refuse, e.g. Xor on duplicates), the
+		// key is buffered as pending so it still answers true, and the
+		// next Add retries with the full list.
 		if f, err := sh.build(sh.positives); err == nil {
 			sh.f = f
 			sh.baseline = len(sh.positives)
+			sh.pending = nil
 		} else {
 			s.rebuildErrs.Add(1)
+			sh.addPending(key)
 		}
 		return
 	}
-	sh.f.Add(key)
+	if err := sh.f.Add(key); err != nil {
+		// Static backend: serve the key from the pending buffer — unless
+		// the filter already answers true for it (a re-Add of an existing
+		// member, or a false-positive collision), where pending would add
+		// only drift and rebuild churn. Either way the key is in
+		// positives, so the next rebuild represents it directly and the
+		// answer stays true forever.
+		if !sh.f.Contains(key) {
+			sh.addPending(key)
+		}
+	}
 	if s.threshold > 0 && !sh.rebuilding && !sh.restored &&
-		float64(sh.f.AddedKeys()) >= s.threshold*float64(sh.baseline) {
+		float64(sh.drift()) >= s.threshold*float64(sh.baseline) {
 		sh.rebuilding = true
 		s.rebuildWG.Add(1)
 		go sh.rebuild()
@@ -320,14 +434,16 @@ func (s *Set) Add(key []byte) {
 }
 
 // rebuild reconstructs the shard's filter over its full current key set —
-// re-running the TPJO optimization that per-key Add cannot — and swaps it
-// in. Construction happens outside the lock; only the final swap (plus a
-// replay of keys added mid-rebuild) blocks the shard's readers.
+// re-running the optimization that per-key Add cannot, and absorbing any
+// pending keys a static backend buffered — and swaps it in. Construction
+// happens outside the lock; only the final swap (plus a replay of keys
+// added mid-rebuild) blocks the shard's readers.
 func (sh *shard) rebuild() {
 	defer sh.set.rebuildWG.Done()
 
 	sh.mu.RLock()
 	n0 := len(sh.positives)
+	b0 := sh.builds
 	// Three-index slice: appends by concurrent Adds reallocate instead of
 	// writing into the snapshot's backing array.
 	snap := sh.positives[:n0:n0]
@@ -342,13 +458,35 @@ func (sh *shard) rebuild() {
 		sh.set.rebuildErrs.Add(1)
 		return
 	}
-	for _, key := range sh.positives[n0:] { // added while we were building
-		f.Add(key)
+	if sh.builds != b0 {
+		// A snapshot-time absorb swapped a filter built from a longer
+		// prefix while we were building; ours is stale. Installing it
+		// would demote already-absorbed keys back to pending (or, on a
+		// mutable backend, to degraded per-key re-Adds) and could let a
+		// concurrent Save frame miss acked keys.
+		return
+	}
+	sh.swap(f, n0)
+	sh.set.rebuilds.Add(1)
+}
+
+// swap installs a filter built over positives[:built], replaying the
+// keys added since: a mutable backend absorbs them, a static one leaves
+// them pending. Callers hold mu's write side.
+func (sh *shard) swap(f filtercore.Backend, built int) {
+	sh.pending = nil
+	absorbed := built
+	for _, key := range sh.positives[built:] { // added while we were building
+		if f.Add(key) == nil {
+			absorbed++
+		} else {
+			sh.addPending(key)
+		}
 	}
 	sh.f = f
-	sh.baseline = len(sh.positives)
+	sh.baseline = absorbed
+	sh.builds++
 	sh.epoch.Add(1)
-	sh.set.rebuilds.Add(1)
 }
 
 // WaitRebuilds blocks until every background rebuild in flight at call
@@ -359,13 +497,12 @@ func (s *Set) WaitRebuilds() { s.rebuildWG.Wait() }
 // NumShards returns the shard count.
 func (s *Set) NumShards() int { return len(s.shards) }
 
-// Name identifies the filter in experiment output.
+// Backend returns the registry name of the backend every shard uses.
+func (s *Set) Backend() string { return s.backend.Name }
+
+// Name identifies the filter in experiment output, e.g. "Sharded[8×HABF]".
 func (s *Set) Name() string {
-	inner := "HABF"
-	if s.shards[0].params.Fast {
-		inner = "f-HABF"
-	}
-	return fmt.Sprintf("Sharded[%d×%s]", len(s.shards), inner)
+	return fmt.Sprintf("Sharded[%d×%s]", len(s.shards), s.backend.InnerName(s.baseParams))
 }
 
 // SizeBits returns the summed query-time footprint of every shard.
@@ -385,7 +522,8 @@ func (s *Set) SizeBits() uint64 {
 type Stats struct {
 	Shards        int
 	Keys          uint64 // total positive keys currently represented
-	Added         uint64 // Adds not yet folded into a rebuild
+	Added         uint64 // Adds not yet folded into a rebuild (incl. pending)
+	Pending       uint64 // Adds a static backend buffered outside its filter
 	Rebuilds      uint64 // background rebuilds completed
 	RebuildErrors uint64
 	SizeBits      uint64
@@ -402,6 +540,7 @@ type ShardInfo struct {
 	ID         int    `json:"id"`
 	Keys       int    `json:"keys"`       // positive keys represented
 	Added      uint64 `json:"added"`      // Adds not yet folded into a rebuild
+	Pending    uint64 `json:"pending"`    // static-backend Adds served from the pending buffer
 	Epoch      uint64 `json:"epoch"`      // mutation epoch (Adds + rebuild swaps)
 	SizeBits   uint64 `json:"size_bits"`  // query-time footprint
 	Restored   bool   `json:"restored"`   // serving a snapshot-restored filter
@@ -417,12 +556,13 @@ func (s *Set) ShardInfos() []ShardInfo {
 		info := ShardInfo{
 			ID:         i,
 			Keys:       len(sh.positives),
+			Added:      sh.drift(),
+			Pending:    uint64(len(sh.pending)),
 			Epoch:      sh.epoch.Load(),
 			Restored:   sh.restored,
 			Rebuilding: sh.rebuilding,
 		}
 		if sh.f != nil {
-			info.Added = sh.f.AddedKeys()
 			info.SizeBits = sh.f.SizeBits()
 		}
 		sh.mu.RUnlock()
@@ -442,11 +582,12 @@ func (s *Set) Stats() Stats {
 	for _, sh := range s.shards {
 		sh.mu.RLock()
 		st.Keys += uint64(len(sh.positives))
+		st.Added += sh.drift()
+		st.Pending += uint64(len(sh.pending))
 		if sh.restored {
 			st.Restored++
 		}
 		if sh.f != nil {
-			st.Added += sh.f.AddedKeys()
 			st.SizeBits += sh.f.SizeBits()
 		}
 		sh.mu.RUnlock()

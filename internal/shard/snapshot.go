@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/bits"
 
+	"repro/internal/filtercore"
 	"repro/internal/habf"
 	"repro/internal/snapshot"
 )
@@ -13,6 +14,9 @@ import (
 // Snapshot captures the set's serving state as a container (see
 // internal/snapshot): one checksummed frame per shard wrapping the
 // shard filter's wire format, stamped with the shard's mutation epoch.
+// The container header records the backend kind, so Restore dispatches
+// to the right decoder — a file written by one backend fed to another
+// fails loudly instead of misdecoding frames.
 //
 // Snapshot coexists with live traffic: each shard is marshaled under its
 // read lock, so concurrent readers are never blocked anywhere, writers
@@ -23,6 +27,13 @@ import (
 // contains every key whose Add returned before Snapshot began; keys
 // added concurrently with Snapshot land in the frames written after
 // their shard's marshal and may or may not be captured.
+//
+// A static-backend shard holding pending keys (Adds its filter could
+// not absorb) is rebuilt synchronously before framing, so the acked-Add
+// durability contract holds for static backends too; that one shard's
+// writers stall for the rebuild. A *restored* static shard with pending
+// keys cannot be rebuilt (its pre-snapshot key list is not in memory),
+// so Snapshot fails loudly rather than silently dropping acked keys.
 func (s *Set) Snapshot() (*snapshot.Snapshot, error) {
 	snap := &snapshot.Snapshot{
 		Meta:   s.snapshotMeta(),
@@ -62,6 +73,7 @@ func (s *Set) WriteSnapshot(w io.Writer) error {
 func (s *Set) snapshotMeta() snapshot.Meta {
 	return snapshot.Meta{
 		Kind:                  snapshot.KindShardedSet,
+		Backend:               uint8(s.backend.Kind),
 		BaseSeed:              s.baseParams.Seed,
 		RouteSeed:             s.routeSeed,
 		K:                     s.baseParams.K,
@@ -76,15 +88,19 @@ func (s *Set) snapshotMeta() snapshot.Meta {
 	}
 }
 
-// marshalShard frames shard i under its read lock.
+// marshalShard frames shard i under its read lock, after absorbing any
+// pending keys so the frame captures every acked Add.
 func (s *Set) marshalShard(i int) (snapshot.Frame, error) {
 	sh := s.shards[i]
+	if err := sh.absorbPending(); err != nil {
+		return snapshot.Frame{}, fmt.Errorf("shard %d: %w", i, err)
+	}
 	sh.mu.RLock()
 	fr := snapshot.Frame{Epoch: sh.epoch.Load()}
 	var err error
 	if sh.f != nil {
 		fr.Payload, err = sh.f.MarshalBinary()
-		fr.Align = habf.WireAlignOffset(sh.f.K())
+		fr.Align = sh.f.WireAlignOffset()
 	}
 	sh.mu.RUnlock()
 	if err != nil {
@@ -93,12 +109,56 @@ func (s *Set) marshalShard(i int) (snapshot.Frame, error) {
 	return fr, nil
 }
 
+// absorbPending folds a static backend's pending keys into a freshly
+// built filter so a snapshot frame represents them. Holding addMu
+// freezes the key set — writers queue, readers keep serving under mu's
+// read side — so one build outside mu absorbs everything, and only the
+// final swap takes the write lock (readers stall for a pointer swap,
+// never a build).
+func (sh *shard) absorbPending() error {
+	sh.mu.RLock()
+	n := len(sh.pending)
+	restored := sh.restored
+	sh.mu.RUnlock()
+	if n == 0 {
+		return nil
+	}
+	if restored {
+		return fmt.Errorf("%d pending key(s) on a restored static-backend shard cannot be captured (the pre-snapshot key list is not in memory); rebuild the set from its source keys instead", n)
+	}
+
+	sh.addMu.Lock()
+	defer sh.addMu.Unlock()
+	sh.mu.RLock()
+	if len(sh.pending) == 0 { // a racing Add's rebuild beat us to it
+		sh.mu.RUnlock()
+		return nil
+	}
+	n0 := len(sh.positives)
+	keys := sh.positives[:n0:n0]
+	sh.mu.RUnlock()
+	// positives cannot grow here: every Add holds addMu. A background
+	// rebuild may still swap concurrently, but ours is built from the
+	// full frozen key list and lands last (a rebuild completing after us
+	// sees builds advanced and discards itself).
+	f, err := sh.build(keys)
+	if err != nil {
+		return err
+	}
+	sh.mu.Lock()
+	sh.swap(f, n0) // replay loop is empty: the key set was frozen
+	sh.mu.Unlock()
+	return nil
+}
+
 // Restore rebuilds a Set from a decoded snapshot without copying filter
-// payloads: every shard filter is decoded in borrow mode and serves
-// queries directly from the snapshot's backing buffer, so the caller
-// must keep that buffer alive and unmodified for the life of the Set. A
-// post-restore Add copies the touched shard's arrays before mutating
-// them (copy-on-first-write); the buffer itself is never written.
+// payloads: every shard filter is decoded in borrow mode — dispatched
+// through the filtercore registry by the backend kind recorded in the
+// container header — and serves queries directly from the snapshot's
+// backing buffer, so the caller must keep that buffer alive and
+// unmodified for the life of the Set. A post-restore Add copies the
+// touched shard's arrays before mutating them (copy-on-first-write);
+// the buffer itself is never written.
 //
 // Restored shards accept Adds but do not auto-rebuild on drift — the key
 // list behind a restored filter is not in memory, so a drift rebuild
@@ -107,6 +167,10 @@ func (s *Set) marshalShard(i int) (snapshot.Frame, error) {
 func Restore(snap *snapshot.Snapshot) (*Set, error) {
 	if snap.Meta.Kind != snapshot.KindShardedSet {
 		return nil, fmt.Errorf("shard: container kind %d is not a sharded-set snapshot", snap.Meta.Kind)
+	}
+	backend, err := filtercore.ByKind(filtercore.Kind(snap.Meta.Backend))
+	if err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
 	}
 	n := len(snap.Frames)
 	if n == 0 || n&(n-1) != 0 {
@@ -140,9 +204,9 @@ func Restore(snap *snapshot.Snapshot) (*Set, error) {
 		base.Seed = 1
 	}
 	// Same trust boundary as the float bounds above: K and CellBits feed
-	// the lazy-build path, where habf.New's failure has no error channel
-	// back to the caller (the Add would be silently dropped). Reject the
-	// template here instead.
+	// the lazy-build path, where a build failure has no error channel
+	// back to the caller (the Add would land in the pending buffer
+	// forever). Reject the template here instead.
 	if err := base.Validate(); err != nil {
 		return nil, fmt.Errorf("shard: snapshot params: %w", err)
 	}
@@ -152,6 +216,7 @@ func Restore(snap *snapshot.Snapshot) (*Set, error) {
 		routeSeed:  snap.Meta.RouteSeed,
 		threshold:  snap.Meta.Threshold,
 		baseParams: base,
+		backend:    backend,
 		bitsPerKey: snap.Meta.BitsPerKey,
 	}
 	for i, fr := range snap.Frames {
@@ -163,7 +228,7 @@ func Restore(snap *snapshot.Snapshot) (*Set, error) {
 			params:     p,
 		}
 		if len(fr.Payload) > 0 {
-			f, err := habf.UnmarshalFilterBorrow(fr.Payload)
+			f, err := backend.UnmarshalBorrow(fr.Payload)
 			if err != nil {
 				return nil, fmt.Errorf("shard %d: %w", i, err)
 			}

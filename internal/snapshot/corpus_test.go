@@ -67,6 +67,36 @@ func fuzzSnapshotSeeds(tb testing.TB) map[string][]byte {
 	wrongKind[48] = 2 // KindFilterBlocks in a sharded-set restore path
 	binary.LittleEndian.PutUint32(wrongKind[60:64], crc32.Checksum(wrongKind[:60], crc32.MakeTable(crc32.Castagnoli)))
 	seeds["wrong-kind"] = wrongKind
+	// Unknown backend kind in header byte 49 (CRC fixed): the filtercore
+	// registry lookup must reject it before any frame is decoded.
+	wrongBackend := append([]byte(nil), good...)
+	wrongBackend[49] = 0xEE
+	binary.LittleEndian.PutUint32(wrongBackend[60:64], crc32.Checksum(wrongBackend[:60], crc32.MakeTable(crc32.Castagnoli)))
+	seeds["wrong-backend-kind"] = wrongBackend
+	// Cross-backend frames: a header claiming the xor backend (kind 2)
+	// over HABF frame payloads. The xor wire decoder must refuse the
+	// frames (wrong magic), never misparse them.
+	crossBackend := append([]byte(nil), good...)
+	crossBackend[49] = 2
+	binary.LittleEndian.PutUint32(crossBackend[60:64], crc32.Checksum(crossBackend[:60], crc32.MakeTable(crc32.Castagnoli)))
+	seeds["cross-backend-frame"] = crossBackend
+	// Valid containers of the non-default backends, so the fuzzer mutates
+	// the bloom and xor frame decoders too.
+	for _, backend := range []string{"bloom", "xor"} {
+		set, err := shard.New(pos, neg, shard.Config{Shards: 4, TotalBits: 300 * 12, Backend: backend})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		snap, err := set.Snapshot()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		data, err := snap.MarshalBinary()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		seeds["valid-"+backend+"-container"] = data
+	}
 	return seeds
 }
 

@@ -8,8 +8,15 @@
 //	header (64 bytes):
 //	  magic u32 "HSNP" | version u8 | flags u8 | k u8 | cellBits u8 |
 //	  baseSeed u64 | routeSeed u64 | spaceRatio f64 | bitsPerKey f64 |
-//	  threshold f64 | kind u8 | reserved u8×3 | shardCount u32 |
+//	  threshold f64 | kind u8 | backend u8 | reserved u8×2 | shardCount u32 |
 //	  reserved u32 | headerCRC u32 (CRC32C of the 60 bytes above)
+//
+// The backend byte names the filter family whose wire format fills the
+// frames (a filtercore.Kind). It was a zeroed reserved byte before
+// backends existed, and 0 is the HABF kind, so every pre-backend
+// container keeps loading unchanged; a loader that does not recognize
+// the byte must refuse to decode the frames rather than misparse them.
+//
 //	frames (shardCount, in shard order):
 //	  epoch u64 | payloadLen u64 | payloadCRC u32 (CRC32C) | padLen u32 |
 //	  padLen zero bytes | payload
@@ -76,7 +83,10 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // per-shard filter payloads: how keys route to shards and how shards that
 // were empty at save time should build their first filter.
 type Meta struct {
-	Kind                  uint8  // container content type (Kind* constants)
+	Kind uint8 // container content type (Kind* constants)
+	// Backend is the filtercore.Kind of the filter family framed inside
+	// (0 = HABF, matching the zeroed reserved byte of pre-backend files).
+	Backend               uint8
 	BaseSeed              int64  // params seed the per-shard seeds derive from
 	RouteSeed             uint64 // seed of the shard-routing fingerprint
 	K                     int    // per-key hash budget of the shard template
@@ -157,7 +167,8 @@ func NewWriter(w io.Writer, meta Meta, shardCount int) (*Writer, error) {
 	putFloat(head[32:40], meta.BitsPerKey)
 	putFloat(head[40:48], meta.Threshold)
 	head[48] = meta.Kind
-	// head[49:52] and head[56:60] reserved, zero, CRC-covered.
+	head[49] = meta.Backend
+	// head[50:52] and head[56:60] reserved, zero, CRC-covered.
 	binary.LittleEndian.PutUint32(head[52:56], uint32(shardCount))
 	binary.LittleEndian.PutUint32(head[60:64], crc32.Checksum(head[:60], castagnoli))
 	if err := sw.emit(head[:]); err != nil {
@@ -278,6 +289,7 @@ func Unmarshal(data []byte) (*Snapshot, error) {
 	flags := data[5]
 	s := &Snapshot{Meta: Meta{
 		Kind:                  kind,
+		Backend:               data[49],
 		K:                     int(data[6]),
 		CellBits:              uint(data[7]),
 		Fast:                  flags&flagFast != 0,

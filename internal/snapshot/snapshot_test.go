@@ -27,6 +27,7 @@ func testSnapshot() *snapshot.Snapshot {
 	return &snapshot.Snapshot{
 		Meta: snapshot.Meta{
 			Kind:       snapshot.KindShardedSet,
+			Backend:    2, // non-default backend byte must round-trip
 			BaseSeed:   42,
 			RouteSeed:  0x123456789abcdef0,
 			K:          3,

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/filtercore"
 	"repro/internal/shard"
 	"repro/internal/snapshot"
 )
@@ -59,6 +60,21 @@ func WithFastShards() ShardedOption {
 	return func(c *shard.Config) { c.Params.Fast = true }
 }
 
+// WithBackend selects the filter family every shard is built with, by
+// registry name — see Backends for what is available. The default is
+// "habf", the paper's cost-aware filter; "bloom" serves the standard
+// Bloom baseline (mutable, cost-oblivious) and "xor" the Xor filter
+// (static: Adds are buffered as pending, still answered with zero false
+// negatives, until a background rebuild absorbs them). Every backend
+// rides the same sharding, batching, snapshot and serving machinery.
+func WithBackend(name string) ShardedOption {
+	return func(c *shard.Config) { c.Backend = name }
+}
+
+// Backends returns the names of every registered filter backend, sorted
+// — the valid inputs to WithBackend.
+func Backends() []string { return filtercore.Names() }
+
 // NewSharded builds a sharded HABF over positives within totalBits of
 // memory, splitting the budget across shards in proportion to their key
 // share. Negatives are routed to the shard their colliding positives
@@ -99,6 +115,10 @@ func (s *Sharded) SizeBits() uint64 { return s.set.SizeBits() }
 // NumShards returns the shard count.
 func (s *Sharded) NumShards() int { return s.set.NumShards() }
 
+// Backend returns the registry name of the filter backend every shard
+// uses ("habf", "bloom", "xor", ...).
+func (s *Sharded) Backend() string { return s.set.Backend() }
+
 // WaitRebuilds blocks until in-flight background rebuilds finish.
 // Intended for tests and orderly shutdown; serving paths never need it.
 func (s *Sharded) WaitRebuilds() { s.set.WaitRebuilds() }
@@ -125,7 +145,11 @@ func (s *Sharded) ShardInfos() []ShardInfo { return s.set.ShardInfos() }
 // while its own shard is being framed, and background rebuilds land
 // before or after their shard's frame — so every key whose Add returned
 // before Save was called is captured; keys added concurrently may or may
-// not be. The snapshot holds only query-time state: a restored filter
+// not be. A static-backend shard holding pending Adds is rebuilt
+// synchronously before framing so those keys are captured too; on a
+// *restored* static set that rebuild is impossible (no key list in
+// memory) and Save fails loudly rather than dropping acked keys.
+// The snapshot holds only query-time state: a restored filter
 // answers Contains identically but carries no construction statistics
 // and no key list (see Load). Frames stream to w one shard at a time,
 // so Save's memory overhead is one shard's wire size, not the set's.
