@@ -97,8 +97,12 @@ func runServe(cfg serveConfig, w io.Writer) error {
 	if !restored {
 		// Accuracy line for the backend selection matrix: plain and
 		// cost-weighted FPR over the known (zipf-weighted, adversarial)
-		// negatives. Restored sets skip it only to keep -restore runs
-		// byte-input-only.
+		// negatives. Sampling contract (pinned by TestSamplingContract in
+		// internal/metrics): both numbers are computed over exactly this
+		// negative sample — the distribution cost-aware backends optimize
+		// against — and estimate nothing beyond it; the uniform-universe
+		// FPR of a backend can differ. Restored sets skip the line only
+		// to keep -restore runs byte-input-only.
 		fpr, err := habf.FPR(sharded, data.Negatives)
 		if err != nil {
 			return err
@@ -107,7 +111,7 @@ func runServe(cfg serveConfig, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "accuracy: %.2f bits/key, FPR %.4f%%, weighted FPR %.4f%% over %d known negatives\n\n",
+		fmt.Fprintf(w, "accuracy: %.2f bits/key, FPR %.4f%%, weighted FPR %.4f%% over the %d-key known-negative sample\n\n",
 			float64(sharded.SizeBits())/float64(cfg.keys), 100*fpr, 100*wfpr, cfg.keys)
 	}
 

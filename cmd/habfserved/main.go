@@ -9,7 +9,7 @@
 //
 //	habfserved -restore filter.snap [-addr :8080] [-snapshot filter.snap -snapshot-on-exit]
 //	habfserved -keys 100000 [-shards 8] [-seed 1]       # synthetic filter, for demos/load tests
-//	habfserved -keys 100000 -backend xor                # serve a baseline filter family
+//	habfserved -keys 100000 -backend xor                # serve a baseline filter family (bloom|xor|wbf|phbf)
 //
 // The filter comes from one of two sources: -restore loads a snapshot
 // produced by habf.SaveFile (zero-copy, query-ready in milliseconds), or

@@ -49,12 +49,17 @@
 //
 // The serving stack is generic over a pluggable filter backend
 // (internal/filtercore): WithBackend selects the family every shard is
-// built with — "habf" (default), "bloom" (standard Bloom, mutable) or
-// "xor" (Xor filter, static; Adds are buffered as pending and absorbed
-// by the next rebuild) — and sharding, batching, snapshots and the
-// habfserved daemon all work identically across them. Backends lists
-// the registry; Sharded.Backend reports the active one, and snapshots
-// record it so Load restores through the right decoder.
+// built with — "habf" (default), "bloom" (standard Bloom, mutable),
+// "wbf" (Weighted Bloom, mutable and cost-aware), or the static "xor"
+// (Xor filter) and "phbf" (partitioned hashing), whose Adds are
+// buffered as pending and absorbed by the next rebuild — and sharding,
+// batching, snapshots and the habfserved daemon all work identically
+// across them. Backends lists the registry; Sharded.Backend reports the
+// active one, and snapshots record it so Load restores through the
+// right decoder. Pending keys on a restored static set are themselves
+// snapshot-durable: Save writes them into a dedicated container frame
+// and Load re-buffers them, so acked Adds survive restart cycles even
+// when no rebuild is possible.
 //
 // ContainsBatch — available on both *HABF and *Sharded — groups a batch
 // of keys by shard, takes each shard's lock once, and reuses one scratch

@@ -31,11 +31,7 @@ func (b *bloomBackend) WireAlignOffset() int           { return bloom.WireAlignO
 func (b *bloomBackend) Borrowed() bool                 { return b.f.Borrowed() }
 
 func (b *bloomBackend) ContainsBatch(keys [][]byte) []bool {
-	out := make([]bool, len(keys))
-	for i, key := range keys {
-		out[i] = b.f.Contains(key)
-	}
-	return out
+	return containsBatchSerial(b, keys)
 }
 
 func (b *bloomBackend) Add(key []byte) error {

@@ -48,6 +48,10 @@ const (
 	KindBloom Kind = 1
 	// KindXor is the Xor filter (static baseline).
 	KindXor Kind = 2
+	// KindWBF is the Weighted Bloom filter (mutable, cost-aware baseline).
+	KindWBF Kind = 3
+	// KindPHBF is the partitioned-hashing Bloom filter (static baseline).
+	KindPHBF Kind = 4
 )
 
 // Backend is one shard's filter, the unit the serving stack is generic
@@ -182,4 +186,15 @@ func Names() []string {
 	regMu.RLock()
 	defer regMu.RUnlock()
 	return append([]string(nil), nameOrder...)
+}
+
+// containsBatchSerial is the shared ContainsBatch fallback for backends
+// whose filter has no batch-specific fast path: one Contains per key,
+// in order — the exact per-key parity the conformance suite checks.
+func containsBatchSerial(b Backend, keys [][]byte) []bool {
+	out := make([]bool, len(keys))
+	for i, key := range keys {
+		out[i] = b.Contains(key)
+	}
+	return out
 }

@@ -1,0 +1,62 @@
+package filtercore
+
+import (
+	"repro/internal/habf"
+	"repro/internal/phbf"
+)
+
+// phbfBackend adapts the partitioned-hashing Bloom filter of Hao et al.
+// (SIGMETRICS 2007) — the closest prior work to HABF — to the Backend
+// interface. It is static: the greedy per-group seed selection is a
+// whole-set optimization that cannot absorb inserts, so Add returns
+// ErrStaticBackend and the shard layer buffers the key as pending until
+// a rebuild re-runs the greedy over the full key set.
+type phbfBackend struct {
+	f *phbf.Filter
+}
+
+var _ Backend = (*phbfBackend)(nil)
+
+func (b *phbfBackend) Contains(key []byte) bool       { return b.f.Contains(key) }
+func (b *phbfBackend) Add([]byte) error               { return ErrStaticBackend }
+func (b *phbfBackend) AddedKeys() uint64              { return 0 }
+func (b *phbfBackend) Name() string                   { return b.f.Name() }
+func (b *phbfBackend) SizeBits() uint64               { return b.f.SizeBits() }
+func (b *phbfBackend) Kind() Kind                     { return KindPHBF }
+func (b *phbfBackend) MarshalBinary() ([]byte, error) { return b.f.MarshalBinary() }
+func (b *phbfBackend) WireAlignOffset() int           { return phbf.WireAlignOffset(b.f.Groups()) }
+func (b *phbfBackend) Borrowed() bool                 { return b.f.Borrowed() }
+
+func (b *phbfBackend) ContainsBatch(keys [][]byte) []bool {
+	return containsBatchSerial(b, keys)
+}
+
+func init() {
+	Register(Factory{
+		Name:      "phbf",
+		Kind:      KindPHBF,
+		Static:    true,
+		InnerName: func(habf.Params) string { return "PHBF" },
+		Build: func(positives [][]byte, _ []habf.WeightedKey, cfg BuildConfig) (Backend, error) {
+			f, err := phbf.New(positives, phbf.Config{TotalBits: cfg.TotalBits})
+			if err != nil {
+				return nil, err
+			}
+			return &phbfBackend{f: f}, nil
+		},
+		Unmarshal: func(data []byte) (Backend, error) {
+			f, err := phbf.UnmarshalFilter(data)
+			if err != nil {
+				return nil, err
+			}
+			return &phbfBackend{f: f}, nil
+		},
+		UnmarshalBorrow: func(data []byte) (Backend, error) {
+			f, err := phbf.UnmarshalFilterBorrow(data)
+			if err != nil {
+				return nil, err
+			}
+			return &phbfBackend{f: f}, nil
+		},
+	})
+}

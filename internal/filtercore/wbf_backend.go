@@ -1,0 +1,74 @@
+package filtercore
+
+import (
+	"sync/atomic"
+
+	"repro/internal/habf"
+	"repro/internal/wbf"
+)
+
+// wbfBackend adapts the Weighted Bloom filter baseline (Bruck et al.
+// 2006) to the Backend interface. Like HABF it is cost-aware — the
+// shard's weighted negatives drive a per-key hash-count allocation, and
+// the costliest negatives' counts are cached for query time — and like
+// the standard Bloom it is mutable: Add inserts with the base hash
+// count, exactly as construction inserts positives.
+type wbfBackend struct {
+	f     *wbf.Filter
+	added atomic.Uint64
+}
+
+var _ Backend = (*wbfBackend)(nil)
+
+func (b *wbfBackend) Contains(key []byte) bool       { return b.f.Contains(key) }
+func (b *wbfBackend) AddedKeys() uint64              { return b.added.Load() }
+func (b *wbfBackend) Name() string                   { return b.f.Name() }
+func (b *wbfBackend) SizeBits() uint64               { return b.f.SizeBits() }
+func (b *wbfBackend) Kind() Kind                     { return KindWBF }
+func (b *wbfBackend) MarshalBinary() ([]byte, error) { return b.f.MarshalBinary() }
+func (b *wbfBackend) WireAlignOffset() int           { return wbf.WireAlignOffset }
+func (b *wbfBackend) Borrowed() bool                 { return b.f.Borrowed() }
+
+func (b *wbfBackend) ContainsBatch(keys [][]byte) []bool {
+	return containsBatchSerial(b, keys)
+}
+
+func (b *wbfBackend) Add(key []byte) error {
+	b.f.Add(key)
+	b.added.Add(1)
+	return nil
+}
+
+func init() {
+	Register(Factory{
+		Name:      "wbf",
+		Kind:      KindWBF,
+		Static:    false,
+		InnerName: func(habf.Params) string { return "WBF" },
+		Build: func(positives [][]byte, negatives []habf.WeightedKey, cfg BuildConfig) (Backend, error) {
+			conv := make([]wbf.WeightedKey, len(negatives))
+			for i, n := range negatives {
+				conv[i] = wbf.WeightedKey{Key: n.Key, Cost: n.Cost}
+			}
+			f, err := wbf.New(positives, conv, wbf.Config{TotalBits: cfg.TotalBits})
+			if err != nil {
+				return nil, err
+			}
+			return &wbfBackend{f: f}, nil
+		},
+		Unmarshal: func(data []byte) (Backend, error) {
+			f, err := wbf.UnmarshalFilter(data)
+			if err != nil {
+				return nil, err
+			}
+			return &wbfBackend{f: f}, nil
+		},
+		UnmarshalBorrow: func(data []byte) (Backend, error) {
+			f, err := wbf.UnmarshalFilterBorrow(data)
+			if err != nil {
+				return nil, err
+			}
+			return &wbfBackend{f: f}, nil
+		},
+	})
+}

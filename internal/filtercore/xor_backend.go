@@ -26,11 +26,7 @@ func (b *xorBackend) WireAlignOffset() int           { return xorfilter.WireAlig
 func (b *xorBackend) Borrowed() bool                 { return b.f.Borrowed() }
 
 func (b *xorBackend) ContainsBatch(keys [][]byte) []bool {
-	out := make([]bool, len(keys))
-	for i, key := range keys {
-		out[i] = b.f.Contains(key)
-	}
-	return out
+	return containsBatchSerial(b, keys)
 }
 
 // dedupe drops repeated keys, preserving first-seen order. Peeling fails

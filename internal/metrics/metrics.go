@@ -19,6 +19,17 @@ type Filter interface {
 // WeightedFPR measures Eq. 20 over the known negative set: the cost-mass
 // of false positives divided by the total cost mass. With uniform costs it
 // equals the plain FPR.
+//
+// Sampling contract: the result is computed over exactly the negatives
+// given — no extrapolation, no resampling, no reweighting beyond the
+// supplied costs. Callers that pass a sample of their negative traffic
+// (habfbench's accuracy line passes the known adversarial negatives,
+// the distribution cost-aware filters optimize against) get an estimate
+// conditional on that sample's distribution, which can differ from the
+// uniform-universe FPR; callers that pass every non-member key get the
+// exact rate. TestSamplingContract pins both readings against an
+// exhaustive small-universe computation. costs[i] must belong to
+// negatives[i]; a length mismatch is an error, never a truncation.
 func WeightedFPR(f Filter, negatives [][]byte, costs []float64) (float64, error) {
 	if len(negatives) == 0 {
 		return 0, fmt.Errorf("metrics: empty negative set")
@@ -39,7 +50,9 @@ func WeightedFPR(f Filter, negatives [][]byte, costs []float64) (float64, error)
 	return fpCost / total, nil
 }
 
-// FPR measures the plain false-positive rate over known negatives.
+// FPR measures the plain false-positive rate over known negatives. The
+// WeightedFPR sampling contract applies: the rate is exact for the keys
+// given and an estimate of nothing beyond them.
 func FPR(f Filter, negatives [][]byte) (float64, error) {
 	if len(negatives) == 0 {
 		return 0, fmt.Errorf("metrics: empty negative set")

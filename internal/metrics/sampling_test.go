@@ -1,0 +1,116 @@
+package metrics_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bloom"
+	"repro/internal/metrics"
+)
+
+// TestSamplingContract pins the sampling contract of FPR/WeightedFPR
+// against an exhaustive computation on a small, fully enumerable key
+// universe. habfbench's -serve accuracy line feeds these estimators the
+// known negative *sample* (the adversarial, cost-weighted keys the
+// filter optimized against), so what exactly they compute — the rate
+// over the supplied keys, nothing more — is a reporting contract worth
+// freezing: any hidden extrapolation or reweighting would silently
+// change every number in the README backend matrix.
+func TestSamplingContract(t *testing.T) {
+	// Universe: 2000 keys; members are the first 200. Every non-member
+	// is enumerable, so "exhaustive FPR" is computable by brute force.
+	const universe = 2000
+	const members = 200
+	keys := make([][]byte, universe)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("uni-%06d", i))
+	}
+	f, err := bloom.NewWithKeys(keys[:members], 8, bloom.StrategySplit128)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nonMembers := keys[members:]
+	falsePos := 0
+	for _, key := range nonMembers {
+		if f.Contains(key) {
+			falsePos++
+		}
+	}
+	exhaustive := float64(falsePos) / float64(len(nonMembers))
+	if falsePos == 0 {
+		t.Fatal("fixture produced no false positives; grow the universe or shrink bits/key")
+	}
+
+	// Reading 1: fed the whole non-member set, FPR is the exact rate.
+	got, err := metrics.FPR(f, nonMembers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != exhaustive {
+		t.Fatalf("FPR over the full universe = %v, exhaustive computation = %v", got, exhaustive)
+	}
+
+	// Reading 2: fed a sample, FPR is the exact rate *of that sample* —
+	// no extrapolation toward the universe rate. A deterministic
+	// every-third-key subsample keeps the test stable.
+	var sample [][]byte
+	for i := 0; i < len(nonMembers); i += 3 {
+		sample = append(sample, nonMembers[i])
+	}
+	sampleFP := 0
+	for _, key := range sample {
+		if f.Contains(key) {
+			sampleFP++
+		}
+	}
+	got, err = metrics.FPR(f, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := float64(sampleFP) / float64(len(sample)); got != want {
+		t.Fatalf("FPR over sample = %v, hand count = %v", got, want)
+	}
+
+	// Reading 3: WeightedFPR is Eq. 20 over exactly the supplied pairs —
+	// cost mass of false positives over total cost mass.
+	costs := make([]float64, len(sample))
+	var fpCost, totalCost float64
+	for i, key := range sample {
+		costs[i] = float64(i%7 + 1)
+		totalCost += costs[i]
+		if f.Contains(key) {
+			fpCost += costs[i]
+		}
+	}
+	got, err = metrics.WeightedFPR(f, sample, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := fpCost / totalCost; got != want {
+		t.Fatalf("WeightedFPR = %v, hand computation = %v", got, want)
+	}
+
+	// Uniform costs collapse the weighted rate to the plain one, exactly.
+	uniform := make([]float64, len(sample))
+	for i := range uniform {
+		uniform[i] = 1
+	}
+	wgot, err := metrics.WeightedFPR(f, sample, uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pgot, err := metrics.FPR(f, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wgot != pgot {
+		t.Fatalf("uniform-cost WeightedFPR %v != FPR %v", wgot, pgot)
+	}
+
+	// A costs/negatives length mismatch is an error, never a silent
+	// truncation that would misalign every cost with its key.
+	if _, err := metrics.WeightedFPR(f, sample, costs[:len(costs)-1]); err == nil {
+		t.Fatal("WeightedFPR accepted a costs/negatives length mismatch")
+	}
+}

@@ -49,6 +49,11 @@ func (c Config) withDefaults(n int) Config {
 			c.K = 1
 		}
 	}
+	// Clamp to the wire format's hash-count ceiling so a filter built on
+	// a tiny shard with a generous minimum budget still round-trips.
+	if c.K > maxWireK {
+		c.K = maxWireK
+	}
 	if c.Groups == 0 {
 		c.Groups = 64
 	}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/filtercore"
 	"repro/internal/snapshot"
 )
 
@@ -16,7 +17,23 @@ func backendsUnderTest() []string {
 	if only := os.Getenv("FILTERCORE_BACKEND"); only != "" {
 		return []string{only}
 	}
-	return []string{"habf", "bloom", "xor"}
+	return filtercore.Names()
+}
+
+// staticBackendsUnderTest filters backendsUnderTest down to the static
+// families (the ones whose Adds ride the pending buffer).
+func staticBackendsUnderTest(t *testing.T) []string {
+	var out []string
+	for _, name := range backendsUnderTest() {
+		f, err := filtercore.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Static {
+			out = append(out, name)
+		}
+	}
+	return out
 }
 
 // requireBackend skips a backend-specific test when the CI matrix has
@@ -107,33 +124,37 @@ func TestBackendsServeAndSnapshot(t *testing.T) {
 // path: keys land in the pending buffer, the drift rebuild absorbs them
 // into a fresh filter, and the buffer empties.
 func TestStaticBackendPendingAbsorbedByRebuild(t *testing.T) {
-	requireBackend(t, "xor")
-	s, pos, _ := newSet(t, 2000, Config{Shards: 4, Backend: "xor", RebuildThreshold: 0.01})
-	var fresh [][]byte
-	for i := 0; i < 400; i++ {
-		k := []byte(fmt.Sprintf("xor-late-%06d", i))
-		fresh = append(fresh, k)
-		s.Add(k)
-	}
-	s.WaitRebuilds()
-	st := s.Stats()
-	if st.Rebuilds == 0 {
-		t.Fatalf("expected rebuilds to absorb pending keys: %+v", st)
-	}
-	if st.RebuildErrors != 0 {
-		t.Fatalf("rebuild errors: %+v", st)
-	}
-	for _, key := range append(append([][]byte{}, pos...), fresh...) {
-		if !s.Contains(key) {
-			t.Fatalf("false negative for %q after rebuild", key)
-		}
-	}
-	// Re-adding an existing member must not wedge the xor build
-	// (duplicates are deduped by the backend).
-	s.Add(pos[0])
-	s.WaitRebuilds()
-	if got := s.Stats().RebuildErrors; got != 0 {
-		t.Fatalf("duplicate Add caused %d rebuild errors", got)
+	for _, backend := range staticBackendsUnderTest(t) {
+		backend := backend
+		t.Run(backend, func(t *testing.T) {
+			s, pos, _ := newSet(t, 2000, Config{Shards: 4, Backend: backend, RebuildThreshold: 0.01})
+			var fresh [][]byte
+			for i := 0; i < 400; i++ {
+				k := []byte(fmt.Sprintf("%s-late-%06d", backend, i))
+				fresh = append(fresh, k)
+				s.Add(k)
+			}
+			s.WaitRebuilds()
+			st := s.Stats()
+			if st.Rebuilds == 0 {
+				t.Fatalf("expected rebuilds to absorb pending keys: %+v", st)
+			}
+			if st.RebuildErrors != 0 {
+				t.Fatalf("rebuild errors: %+v", st)
+			}
+			for _, key := range append(append([][]byte{}, pos...), fresh...) {
+				if !s.Contains(key) {
+					t.Fatalf("false negative for %q after rebuild", key)
+				}
+			}
+			// Re-adding an existing member must not wedge the rebuild
+			// (xor dedupes; phbf tolerates duplicates natively).
+			s.Add(pos[0])
+			s.WaitRebuilds()
+			if got := s.Stats().RebuildErrors; got != 0 {
+				t.Fatalf("duplicate Add caused %d rebuild errors", got)
+			}
+		})
 	}
 }
 
@@ -141,42 +162,134 @@ func TestStaticBackendPendingAbsorbedByRebuild(t *testing.T) {
 // contract with rebuilds disabled: everything still pending at Save
 // time is absorbed into the frames, and nothing stays pending after.
 func TestStaticBackendSnapshotAbsorbsPending(t *testing.T) {
-	requireBackend(t, "xor")
-	s, pos, _ := newSet(t, 1500, Config{Shards: 4, Backend: "xor", RebuildThreshold: -1})
-	var fresh [][]byte
-	for i := 0; i < 200; i++ {
-		k := []byte(fmt.Sprintf("pend-%06d", i))
-		fresh = append(fresh, k)
-		s.Add(k)
-	}
-	if st := s.Stats(); st.Pending == 0 {
-		t.Fatal("expected pending keys with rebuilds disabled")
-	}
-	g := snapshotRoundtrip(t, s)
-	for _, key := range append(append([][]byte{}, pos...), fresh...) {
-		if !g.Contains(key) {
-			t.Fatalf("snapshot dropped acked key %q", key)
-		}
-	}
-	// The absorb is a real rebuild: the source set has no pending left.
-	if st := s.Stats(); st.Pending != 0 {
-		t.Fatalf("%d keys still pending after snapshot", st.Pending)
+	for _, backend := range staticBackendsUnderTest(t) {
+		backend := backend
+		t.Run(backend, func(t *testing.T) {
+			s, pos, _ := newSet(t, 1500, Config{Shards: 4, Backend: backend, RebuildThreshold: -1})
+			var fresh [][]byte
+			for i := 0; i < 200; i++ {
+				k := []byte(fmt.Sprintf("pend-%06d", i))
+				fresh = append(fresh, k)
+				s.Add(k)
+			}
+			if st := s.Stats(); st.Pending == 0 {
+				t.Fatal("expected pending keys with rebuilds disabled")
+			}
+			g := snapshotRoundtrip(t, s)
+			for _, key := range append(append([][]byte{}, pos...), fresh...) {
+				if !g.Contains(key) {
+					t.Fatalf("snapshot dropped acked key %q", key)
+				}
+			}
+			// The absorb is a real rebuild: the source set has no pending
+			// left, and no pending-keys frame was needed.
+			if st := s.Stats(); st.Pending != 0 {
+				t.Fatalf("%d keys still pending after snapshot", st.Pending)
+			}
+			snap, err := s.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(snap.Pending) != 0 {
+				t.Fatalf("non-restored set wrote %d pending-frame keys", len(snap.Pending))
+			}
+		})
 	}
 }
 
-// TestRestoredStaticBackendRefusesLossySnapshot: a restored xor set has
-// no key list, so pending Adds cannot be absorbed — Snapshot must fail
-// loudly instead of writing a snapshot that silently drops acked keys.
-func TestRestoredStaticBackendRefusesLossySnapshot(t *testing.T) {
-	requireBackend(t, "xor")
-	s, _, _ := newSet(t, 1000, Config{Shards: 2, Backend: "xor"})
-	g := snapshotRoundtrip(t, s)
-	g.Add([]byte("restored-pending-key"))
-	if !g.Contains([]byte("restored-pending-key")) {
-		t.Fatal("restored static set lost an added key")
+// TestRestoredStaticBackendPendingDurable is the ROADMAP gap this PR
+// closes: a restored static set has no key list to rebuild from, so its
+// post-restore Adds stay pending — and must survive snapshot → restore
+// cycles via the container's pending-keys frame instead of failing the
+// Save. The chain runs three generations deep to prove pending keys
+// accumulate and persist, not just survive one hop.
+func TestRestoredStaticBackendPendingDurable(t *testing.T) {
+	for _, backend := range staticBackendsUnderTest(t) {
+		backend := backend
+		t.Run(backend, func(t *testing.T) {
+			s, pos, _ := newSet(t, 1000, Config{Shards: 2, Backend: backend})
+			gen1 := snapshotRoundtrip(t, s)
+
+			var acked [][]byte
+			for i := 0; i < 60; i++ {
+				k := []byte(fmt.Sprintf("gen1-%s-%06d", backend, i))
+				acked = append(acked, k)
+				gen1.Add(k)
+			}
+			if st := gen1.Stats(); st.Pending == 0 {
+				t.Fatal("expected pending keys on the restored static set")
+			}
+
+			gen2 := snapshotRoundtrip(t, gen1)
+			for _, key := range append(append([][]byte{}, pos...), acked...) {
+				if !gen2.Contains(key) {
+					t.Fatalf("generation 2 lost acked key %q", key)
+				}
+			}
+			if st := gen2.Stats(); st.Pending == 0 {
+				t.Fatal("restored pending keys were not re-buffered")
+			}
+
+			// Second generation keeps accepting Adds; the third must carry
+			// both generations' pending keys.
+			for i := 0; i < 40; i++ {
+				k := []byte(fmt.Sprintf("gen2-%s-%06d", backend, i))
+				acked = append(acked, k)
+				gen2.Add(k)
+			}
+			gen3 := snapshotRoundtrip(t, gen2)
+			for _, key := range append(append([][]byte{}, pos...), acked...) {
+				if !gen3.Contains(key) {
+					t.Fatalf("generation 3 lost acked key %q", key)
+				}
+			}
+		})
 	}
-	if _, err := g.Snapshot(); err == nil {
-		t.Fatal("Snapshot of a restored static set with pending keys must fail")
+}
+
+// TestPendingFrameRoundtripsDeterministically pins the container-level
+// shape of the pending-keys section: sorted keys, byte-identical
+// re-serialization, and the flag bit round-tripping through Unmarshal.
+func TestPendingFrameRoundtripsDeterministically(t *testing.T) {
+	static := staticBackendsUnderTest(t)
+	if len(static) == 0 {
+		t.Skip("no static backend in this FILTERCORE_BACKEND run")
+	}
+	s, _, _ := newSet(t, 800, Config{Shards: 2, Backend: static[0]})
+	g := snapshotRoundtrip(t, s)
+	for i := 0; i < 30; i++ {
+		g.Add([]byte(fmt.Sprintf("pend-det-%06d", i)))
+	}
+	snap, err := g.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Pending) == 0 {
+		t.Fatal("no pending keys captured")
+	}
+	for i := 1; i < len(snap.Pending); i++ {
+		if string(snap.Pending[i-1]) >= string(snap.Pending[i]) {
+			t.Fatal("pending keys not in strict sorted order")
+		}
+	}
+	data, err := snap.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := snapshot.Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !decoded.Meta.HasPending || len(decoded.Pending) != len(snap.Pending) {
+		t.Fatalf("pending section did not round-trip: HasPending=%v, %d keys (want %d)",
+			decoded.Meta.HasPending, len(decoded.Pending), len(snap.Pending))
+	}
+	again, err := decoded.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(data) {
+		t.Fatal("pending-keys container re-serialization is not byte-identical")
 	}
 }
 

@@ -6,12 +6,14 @@
 // swapped in while the other shards keep serving.
 //
 // The per-shard filter is a pluggable filtercore.Backend — HABF by
-// default, but any registered backend (standard Bloom, Xor, ...) serves
-// through the same routing, locking, rebuild and snapshot machinery.
-// Mutable backends absorb Adds directly; static backends (Xor) cannot,
-// so the shard buffers added keys as pending — still answered with zero
-// false negatives — until the existing rebuild-with-atomic-swap path
-// absorbs them into a fresh filter.
+// default, but any registered backend (standard Bloom, Xor, WBF, PHBF,
+// ...) serves through the same routing, locking, rebuild and snapshot
+// machinery. Mutable backends absorb Adds directly; static backends
+// (Xor, PHBF) cannot, so the shard buffers added keys as pending —
+// still answered with zero false negatives — until the existing
+// rebuild-with-atomic-swap path absorbs them into a fresh filter (or,
+// on a restored set with no key list to rebuild from, until a snapshot
+// persists them through the container's pending-keys frame).
 //
 // Keys are routed by fingerprint prefix: the top bits of an independent
 // 64-bit key hash select the shard, so the per-shard positive and

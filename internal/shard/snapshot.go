@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"math/bits"
+	"sort"
 
 	"repro/internal/filtercore"
 	"repro/internal/habf"
@@ -32,12 +33,15 @@ import (
 // not absorb) is rebuilt synchronously before framing, so the acked-Add
 // durability contract holds for static backends too; that one shard's
 // writers stall for the rebuild. A *restored* static shard with pending
-// keys cannot be rebuilt (its pre-snapshot key list is not in memory),
-// so Snapshot fails loudly rather than silently dropping acked keys.
+// keys cannot be rebuilt (its pre-snapshot key list is not in memory);
+// its pending keys ride the container's pending-keys frame instead, and
+// a restore re-buffers them — acked Adds stay durable across any number
+// of save/restore cycles without ever rebuilding.
 func (s *Set) Snapshot() (*snapshot.Snapshot, error) {
 	snap := &snapshot.Snapshot{
-		Meta:   s.snapshotMeta(),
-		Frames: make([]snapshot.Frame, len(s.shards)),
+		Meta:    s.snapshotMeta(),
+		Frames:  make([]snapshot.Frame, len(s.shards)),
+		Pending: s.collectRestoredPending(),
 	}
 	for i := range s.shards {
 		fr, err := s.marshalShard(i)
@@ -54,7 +58,14 @@ func (s *Set) Snapshot() (*snapshot.Snapshot, error) {
 // rather than the whole set's — the form Save uses for multi-GB filters.
 // Concurrency semantics are identical to Snapshot.
 func (s *Set) WriteSnapshot(w io.Writer) error {
-	sw, err := snapshot.NewWriter(w, s.snapshotMeta(), len(s.shards))
+	// Collect pending keys of restored shards before framing: every key
+	// whose Add was acked before WriteSnapshot began is then captured
+	// either here or (absorbed) in its shard's frame. The header flags
+	// the section, so the decision has to precede the first byte out.
+	pending := s.collectRestoredPending()
+	meta := s.snapshotMeta()
+	meta.HasPending = len(pending) > 0
+	sw, err := snapshot.NewWriter(w, meta, len(s.shards))
 	if err != nil {
 		return err
 	}
@@ -67,7 +78,32 @@ func (s *Set) WriteSnapshot(w io.Writer) error {
 			return err
 		}
 	}
+	if meta.HasPending {
+		if err := sw.WritePending(pending); err != nil {
+			return err
+		}
+	}
 	return sw.Close()
+}
+
+// collectRestoredPending gathers the pending keys of restored shards —
+// the ones absorbPending cannot fold into a frame (no key list to
+// rebuild from) — in sorted order, so identical sets serialize to
+// identical containers. Non-restored shards are skipped: their pending
+// keys are absorbed into their frames by marshalShard.
+func (s *Set) collectRestoredPending() [][]byte {
+	var out [][]byte
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		if sh.restored {
+			for key := range sh.pending {
+				out = append(out, []byte(key))
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(a, b int) bool { return string(out[a]) < string(out[b]) })
+	return out
 }
 
 func (s *Set) snapshotMeta() snapshot.Meta {
@@ -124,7 +160,10 @@ func (sh *shard) absorbPending() error {
 		return nil
 	}
 	if restored {
-		return fmt.Errorf("%d pending key(s) on a restored static-backend shard cannot be captured (the pre-snapshot key list is not in memory); rebuild the set from its source keys instead", n)
+		// No key list to rebuild from; the shard's pending keys were
+		// captured in the container's pending-keys frame instead (see
+		// collectRestoredPending), so the frame images the filter as-is.
+		return nil
 	}
 
 	sh.addMu.Lock()
@@ -237,6 +276,25 @@ func Restore(snap *snapshot.Snapshot) (*Set, error) {
 		}
 		sh.epoch.Store(fr.Epoch)
 		s.shards[i] = sh
+	}
+	// Re-buffer the container's pending keys: Adds a restored static set
+	// acked but whose frozen filters never absorbed. Each key goes back
+	// to the shard it routes to — into positives (so a later inline or
+	// full rebuild represents it) and, when the shard's filter does not
+	// already answer true, into the pending map (so queries do; a filter
+	// that answers true now answers true forever, static filters being
+	// immutable). A mutable backend absorbs the key directly instead.
+	for _, key := range snap.Pending {
+		key := append([]byte(nil), key...) // Pending aliases the container buffer
+		sh := s.shards[s.route(key)]
+		sh.positives = append(sh.positives, key)
+		if sh.f == nil {
+			sh.addPending(key)
+			continue
+		}
+		if err := sh.f.Add(key); err != nil && !sh.f.Contains(key) {
+			sh.addPending(key)
+		}
 	}
 	return s, nil
 }

@@ -81,8 +81,9 @@ func fuzzSnapshotSeeds(tb testing.TB) map[string][]byte {
 	binary.LittleEndian.PutUint32(crossBackend[60:64], crc32.Checksum(crossBackend[:60], crc32.MakeTable(crc32.Castagnoli)))
 	seeds["cross-backend-frame"] = crossBackend
 	// Valid containers of the non-default backends, so the fuzzer mutates
-	// the bloom and xor frame decoders too.
-	for _, backend := range []string{"bloom", "xor"} {
+	// every registered frame decoder (bloom, xor, wbf cache entries, phbf
+	// seed tables).
+	for _, backend := range []string{"bloom", "xor", "wbf", "phbf"} {
 		set, err := shard.New(pos, neg, shard.Config{Shards: 4, TotalBits: 300 * 12, Backend: backend})
 		if err != nil {
 			tb.Fatal(err)
@@ -97,6 +98,38 @@ func fuzzSnapshotSeeds(tb testing.TB) map[string][]byte {
 		}
 		seeds["valid-"+backend+"-container"] = data
 	}
+	// Pending-keys section: restore a static-backend container, add keys
+	// (they pend — no key list to rebuild from), snapshot again. The
+	// result carries the flagged extra frame, giving the fuzzer the
+	// pending decoder to mutate; plus truncated and bit-rotted variants
+	// targeting that frame specifically.
+	restoredSnap, err := snapshot.Unmarshal(seeds["valid-xor-container"])
+	if err != nil {
+		tb.Fatal(err)
+	}
+	restoredSet, err := shard.Restore(restoredSnap)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		restoredSet.Add([]byte(fmt.Sprintf("fz-pend-%04d", i)))
+	}
+	pendSnap, err := restoredSet.Snapshot()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if len(pendSnap.Pending) == 0 {
+		tb.Fatal("pending seed carries no pending keys")
+	}
+	pend, err := pendSnap.MarshalBinary()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	seeds["valid-pending-section"] = pend
+	seeds["pending-truncated"] = pend[:len(pend)-40]
+	pendRot := append([]byte(nil), pend...)
+	pendRot[len(pendRot)-30] ^= 0x10 // inside the pending frame / footer region
+	seeds["pending-bitrot"] = pendRot
 	return seeds
 }
 

@@ -20,10 +20,17 @@
 //	frames (shardCount, in shard order):
 //	  epoch u64 | payloadLen u64 | payloadCRC u32 (CRC32C) | padLen u32 |
 //	  padLen zero bytes | payload
+//	pending-keys frame (optional, only when the flagPendingKeys header
+//	bit is set): one more frame in the same envelope whose payload is
+//	  count u64 | count × (keyLen u32 | key bytes)
+//	— keys no shard filter represents (Adds a restored static backend
+//	buffered as pending), re-buffered at restore so acked Adds survive
+//	save/restore cycles. Files without the flag are byte-identical to
+//	pre-flag containers.
 //	footer:
-//	  offset table: shardCount × u64 (file offset of each frame header) |
-//	  indexOff u64 | footerCRC u32 (CRC32C of table + indexOff) |
-//	  tail magic u32 "PNSH"
+//	  offset table: frameCount × u64 (file offset of each frame header,
+//	  pending frame included) | indexOff u64 | footerCRC u32 (CRC32C of
+//	  table + indexOff) | tail magic u32 "PNSH"
 //
 // The per-frame pad exists for zero-copy loads: the writer shifts each
 // payload so the word arrays inside it land 8-byte aligned in the file
@@ -73,6 +80,11 @@ const (
 	flagDisableGamma
 	flagDisableOverlapRanking
 	flagDisableCostOrdering
+	// flagPendingKeys marks a container carrying one extra frame after
+	// the shard frames: a serialized key list the shard filters do not
+	// represent (Adds a restored static backend buffered as pending).
+	// Containers without the flag are byte-identical to pre-flag files.
+	flagPendingKeys
 )
 
 // castagnoli is the CRC32C polynomial table, the checksum of choice for
@@ -98,6 +110,11 @@ type Meta struct {
 	SpaceRatio            float64 // Δ split of the template
 	BitsPerKey            float64 // budget for shards built after restore
 	Threshold             float64 // rebuild threshold (negative = disabled)
+	// HasPending declares that a pending-keys frame follows the shard
+	// frames (the flagPendingKeys header bit). A streaming Writer must
+	// know it before the header goes out; Snapshot.WriteTo derives it
+	// from len(Pending) automatically.
+	HasPending bool
 }
 
 // Frame is one shard's checkpoint: the filter's MarshalBinary payload
@@ -116,6 +133,13 @@ type Frame struct {
 type Snapshot struct {
 	Meta   Meta
 	Frames []Frame
+	// Pending holds keys no shard frame represents — Adds a restored
+	// static-backend set buffered after its filters were frozen. A
+	// restore re-buffers them (still answered with zero false negatives)
+	// so acked Adds survive arbitrarily many save/restore cycles and the
+	// next full rebuild absorbs them. Empty for most containers; when
+	// present it rides an extra frame flagged in the header.
+	Pending [][]byte
 }
 
 // Writer streams a container one frame at a time, so a multi-GB
@@ -124,11 +148,13 @@ type Snapshot struct {
 // Usage: NewWriter (writes the header), shardCount × WriteFrame, Close
 // (writes the footer).
 type Writer struct {
-	w       io.Writer
-	written int64
-	want    int
-	offsets []uint64
-	closed  bool
+	w           io.Writer
+	written     int64
+	want        int
+	offsets     []uint64
+	closed      bool
+	wantPending bool // header promised a pending-keys frame
+	wrotePend   bool
 }
 
 // NewWriter writes the container header and returns a Writer expecting
@@ -140,7 +166,8 @@ func NewWriter(w io.Writer, meta Meta, shardCount int) (*Writer, error) {
 	if meta.Kind != KindShardedSet && meta.Kind != KindFilterBlocks {
 		return nil, fmt.Errorf("snapshot: unknown container kind %d", meta.Kind)
 	}
-	sw := &Writer{w: w, want: shardCount, offsets: make([]uint64, 0, shardCount)}
+	sw := &Writer{w: w, want: shardCount, wantPending: meta.HasPending,
+		offsets: make([]uint64, 0, shardCount)}
 
 	var head [headerSize]byte
 	binary.LittleEndian.PutUint32(head[0:4], magic)
@@ -157,6 +184,9 @@ func NewWriter(w io.Writer, meta Meta, shardCount int) (*Writer, error) {
 	}
 	if meta.DisableCostOrdering {
 		flags |= flagDisableCostOrdering
+	}
+	if meta.HasPending {
+		flags |= flagPendingKeys
 	}
 	head[5] = flags
 	head[6] = uint8(meta.K)
@@ -188,6 +218,28 @@ func (sw *Writer) WriteFrame(fr Frame) error {
 	if len(sw.offsets) >= sw.want {
 		return fmt.Errorf("snapshot: more than %d frames written", sw.want)
 	}
+	return sw.writeFrame(fr)
+}
+
+// WritePending appends the pending-keys frame after the shard frames.
+// It must be called exactly once, and only when the header promised it
+// (Meta.HasPending), so the flag bit and the footer table stay in
+// agreement.
+func (sw *Writer) WritePending(keys [][]byte) error {
+	if !sw.wantPending {
+		return errors.New("snapshot: pending frame not declared in header")
+	}
+	if sw.wrotePend {
+		return errors.New("snapshot: pending frame already written")
+	}
+	if len(sw.offsets) != sw.want {
+		return fmt.Errorf("snapshot: pending frame before all %d shard frames", sw.want)
+	}
+	sw.wrotePend = true
+	return sw.writeFrame(Frame{Payload: encodePendingKeys(keys)})
+}
+
+func (sw *Writer) writeFrame(fr Frame) error {
 	sw.offsets = append(sw.offsets, uint64(sw.written))
 	// Place the frame so Payload[Align] lands on an 8-byte boundary.
 	payloadOff := sw.written + frameHdrSize
@@ -213,8 +265,15 @@ func (sw *Writer) Close() error {
 	if sw.closed {
 		return errors.New("snapshot: writer already closed")
 	}
-	if len(sw.offsets) != sw.want {
-		return fmt.Errorf("snapshot: wrote %d of %d frames", len(sw.offsets), sw.want)
+	wantFrames := sw.want
+	if sw.wantPending {
+		wantFrames++
+		if !sw.wrotePend {
+			return errors.New("snapshot: header promised a pending frame that was never written")
+		}
+	}
+	if len(sw.offsets) != wantFrames {
+		return fmt.Errorf("snapshot: wrote %d of %d frames", len(sw.offsets), wantFrames)
 	}
 	sw.closed = true
 	indexOff := uint64(sw.written)
@@ -240,12 +299,19 @@ func (sw *Writer) Written() int64 { return sw.written }
 // the convenience form for an already-materialized Snapshot and emits
 // identical bytes.
 func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
-	sw, err := NewWriter(w, s.Meta, len(s.Frames))
+	meta := s.Meta
+	meta.HasPending = len(s.Pending) > 0
+	sw, err := NewWriter(w, meta, len(s.Frames))
 	if err != nil {
 		return 0, err
 	}
 	for _, fr := range s.Frames {
 		if err := sw.WriteFrame(fr); err != nil {
+			return sw.Written(), err
+		}
+	}
+	if meta.HasPending {
+		if err := sw.WritePending(s.Pending); err != nil {
 			return sw.Written(), err
 		}
 	}
@@ -301,6 +367,7 @@ func Unmarshal(data []byte) (*Snapshot, error) {
 		SpaceRatio:            getFloat(data[24:32]),
 		BitsPerKey:            getFloat(data[32:40]),
 		Threshold:             getFloat(data[40:48]),
+		HasPending:            flags&flagPendingKeys != 0,
 	}}
 
 	shardCount := binary.LittleEndian.Uint32(data[52:56])
@@ -310,12 +377,23 @@ func Unmarshal(data []byte) (*Snapshot, error) {
 	if shardCount == 0 || uint64(shardCount) > uint64(len(data))/frameHdrSize {
 		return nil, fmt.Errorf("snapshot: implausible shard count %d for %d bytes", shardCount, len(data))
 	}
+	// The pending-keys flag adds one frame (and one table entry) beyond
+	// the shard frames; everything below walks frameCount, while
+	// shardCount keeps meaning what the restore layer checks (power-of-
+	// two shard topology).
+	frameCount := uint64(shardCount)
+	if s.Meta.HasPending {
+		frameCount++
+	}
+	if frameCount > uint64(len(data))/frameHdrSize {
+		return nil, fmt.Errorf("snapshot: implausible frame count %d for %d bytes", frameCount, len(data))
+	}
 
 	if binary.LittleEndian.Uint32(data[len(data)-4:]) != tailMagic {
 		return nil, errors.New("snapshot: missing tail magic (truncated?)")
 	}
 	indexOff64 := binary.LittleEndian.Uint64(data[len(data)-16 : len(data)-8])
-	tableLen := uint64(shardCount)*8 + 8
+	tableLen := frameCount*8 + 8
 	if indexOff64 < headerSize || indexOff64 > uint64(len(data)-footerSize) ||
 		uint64(len(data)-footerSize)-indexOff64+8 != tableLen {
 		return nil, errors.New("snapshot: footer offset table out of bounds")
@@ -326,7 +404,7 @@ func Unmarshal(data []byte) (*Snapshot, error) {
 		return nil, fmt.Errorf("snapshot: footer CRC mismatch (%08x != %08x)", got, want)
 	}
 
-	s.Frames = make([]Frame, shardCount)
+	s.Frames = make([]Frame, frameCount)
 	prevEnd := uint64(headerSize)
 	for i := range s.Frames {
 		off := binary.LittleEndian.Uint64(table[i*8:])
@@ -358,7 +436,66 @@ func Unmarshal(data []byte) (*Snapshot, error) {
 	if prevEnd != indexOff64 {
 		return nil, errors.New("snapshot: trailing bytes between frames and footer")
 	}
+	if s.Meta.HasPending {
+		pending, err := decodePendingKeys(s.Frames[shardCount].Payload)
+		if err != nil {
+			return nil, err
+		}
+		s.Pending = pending
+		s.Frames = s.Frames[:shardCount]
+	}
 	return s, nil
+}
+
+// encodePendingKeys renders the pending-keys frame payload:
+//
+//	count u64 | count × (keyLen u32 | key bytes)
+func encodePendingKeys(keys [][]byte) []byte {
+	size := 8
+	for _, k := range keys {
+		size += 4 + len(k)
+	}
+	out := make([]byte, 8, size)
+	binary.LittleEndian.PutUint64(out, uint64(len(keys)))
+	var hdr [4]byte
+	for _, k := range keys {
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(k)))
+		out = append(out, hdr[:]...)
+		out = append(out, k...)
+	}
+	return out
+}
+
+// decodePendingKeys parses a pending-keys payload. Returned keys alias
+// data, like frame payloads. Every length is validated against the
+// payload before any allocation it sizes.
+func decodePendingKeys(data []byte) ([][]byte, error) {
+	if len(data) < 8 {
+		return nil, errors.New("snapshot: truncated pending-keys frame")
+	}
+	count := binary.LittleEndian.Uint64(data[0:8])
+	// Each key costs at least its 4-byte length prefix.
+	if count > uint64(len(data)-8)/4 {
+		return nil, fmt.Errorf("snapshot: implausible pending-key count %d for %d bytes", count, len(data))
+	}
+	keys := make([][]byte, 0, count)
+	pos := 8
+	for i := uint64(0); i < count; i++ {
+		if len(data)-pos < 4 {
+			return nil, fmt.Errorf("snapshot: truncated pending key %d", i)
+		}
+		n := int(binary.LittleEndian.Uint32(data[pos : pos+4]))
+		pos += 4
+		if n > len(data)-pos {
+			return nil, fmt.Errorf("snapshot: pending key %d length %d out of bounds", i, n)
+		}
+		keys = append(keys, data[pos:pos+n])
+		pos += n
+	}
+	if pos != len(data) {
+		return nil, errors.New("snapshot: trailing bytes after pending keys")
+	}
+	return keys, nil
 }
 
 func putFloat(b []byte, f float64) {

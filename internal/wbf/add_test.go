@@ -1,0 +1,61 @@
+package wbf
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestAddCachedNegativeStaysQueryable is the regression for the
+// elevated-k insert bug: a key in the cost cache is probed with its
+// cached (elevated) hash count, so an Add that set only the baseK
+// positions left the extra probes unset and the acked key answered
+// false — breaking the zero-false-negative contract exactly for the
+// churn case the serving stack exists for (a formerly costly negative
+// becoming a member). Add must insert with the cached count.
+func TestAddCachedNegativeStaysQueryable(t *testing.T) {
+	pos := make([][]byte, 3000)
+	neg := make([]WeightedKey, 3000)
+	for i := range pos {
+		pos[i] = []byte(fmt.Sprintf("add-pos-%06d", i))
+		// Skewed costs so the cache holds genuinely elevated counts.
+		cost := 1.0
+		if i%20 == 0 {
+			cost = 1000
+		}
+		neg[i] = WeightedKey{Key: []byte(fmt.Sprintf("add-neg-%06d", i)), Cost: cost}
+	}
+	f, err := New(pos, neg, Config{TotalBits: 3000 * 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.CacheSize() == 0 {
+		t.Fatal("fixture produced no cached keys")
+	}
+	elevated := 0
+	for key, k := range f.kCache {
+		if int(k) > f.baseK {
+			elevated++
+		}
+		f.Add([]byte(key))
+		if !f.Contains([]byte(key)) {
+			t.Fatalf("acked Add of cached key %q (k=%d, baseK=%d) answers false", key, k, f.baseK)
+		}
+	}
+	if elevated == 0 {
+		t.Fatal("no cached key carries an elevated hash count; the fixture does not exercise the bug")
+	}
+	// The wire round trip must preserve the now-member cached keys too.
+	wire, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := UnmarshalFilter(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key := range f.kCache {
+		if !g.Contains([]byte(key)) {
+			t.Fatalf("decoded filter lost added cached key %q", key)
+		}
+	}
+}

@@ -73,6 +73,12 @@ func New(positives [][]byte, negatives []WeightedKey, cfg Config) (*Filter, erro
 			cfg.BaseK = 1
 		}
 	}
+	// Clamp so maxK = BaseK+4 stays within the wire format's hash-count
+	// ceiling (tiny shards with generous minimum budgets would otherwise
+	// derive an absurd k that could not round-trip).
+	if cfg.BaseK > maxWireK-4 {
+		cfg.BaseK = maxWireK - 4
+	}
 	if cfg.CacheFraction == 0 {
 		cfg.CacheFraction = 0.05
 	}
@@ -116,8 +122,12 @@ func New(positives [][]byte, negatives []WeightedKey, cfg Config) (*Filter, erro
 		}
 	}
 
+	// Insert with insertK, not plainly baseK: in the membership workload
+	// positives and cached negatives are disjoint (so this is baseK), but
+	// if a caller hands overlapping sets, a cached key must still be
+	// probed successfully at its elevated count.
 	for _, key := range positives {
-		f.add(key, f.baseK)
+		f.add(key, f.insertK(key))
 	}
 	return f, nil
 }

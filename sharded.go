@@ -63,10 +63,13 @@ func WithFastShards() ShardedOption {
 // WithBackend selects the filter family every shard is built with, by
 // registry name — see Backends for what is available. The default is
 // "habf", the paper's cost-aware filter; "bloom" serves the standard
-// Bloom baseline (mutable, cost-oblivious) and "xor" the Xor filter
-// (static: Adds are buffered as pending, still answered with zero false
-// negatives, until a background rebuild absorbs them). Every backend
-// rides the same sharding, batching, snapshot and serving machinery.
+// Bloom baseline (mutable, cost-oblivious), "wbf" the Weighted Bloom
+// baseline (mutable and cost-aware: costly negatives get extra hash
+// positions), and "xor" (Xor filter) and "phbf" (partitioned hashing)
+// the static baselines, whose Adds are buffered as pending — still
+// answered with zero false negatives — until a background rebuild
+// absorbs them. Every backend rides the same sharding, batching,
+// snapshot and serving machinery.
 func WithBackend(name string) ShardedOption {
 	return func(c *shard.Config) { c.Backend = name }
 }
@@ -148,7 +151,9 @@ func (s *Sharded) ShardInfos() []ShardInfo { return s.set.ShardInfos() }
 // not be. A static-backend shard holding pending Adds is rebuilt
 // synchronously before framing so those keys are captured too; on a
 // *restored* static set that rebuild is impossible (no key list in
-// memory) and Save fails loudly rather than dropping acked keys.
+// memory), so the pending keys are written verbatim into the
+// container's pending-keys frame instead and re-buffered at load —
+// acked Adds stay durable across any number of save/restore cycles.
 // The snapshot holds only query-time state: a restored filter
 // answers Contains identically but carries no construction statistics
 // and no key list (see Load). Frames stream to w one shard at a time,
