@@ -10,8 +10,10 @@
 //	habfbench -serve -backend xor                 # serve a baseline filter family
 //	habfbench -serve -snapshot filter.snap        # build, then checkpoint
 //	habfbench -serve -restore filter.snap         # restore instead of building
+//	habfbench -serve -tune k=4,cellbits=5         # serve with non-default tuning knobs
 //	habfbench -net [-clients 8] [-dist zipfian] [-benchjson BENCH_serve.json]
 //	habfbench -net -backend habf,bloom,xor        # compare backends on identical traffic
+//	habfbench -net -tune "bloom:strategy=seeded64,k=8;xor:width=9"  # add tuned-variant runs
 //	habfbench -net -addr host:8080                # drive a running habfserved
 //
 // Scale 1.0 runs 40 k Shalla keys and 100 k YCSB keys per side with the
@@ -33,6 +35,12 @@
 // per run, and -net accepts a comma-separated list so HABF, Bloom and
 // Xor are compared as serving backends under identical workloads
 // (non-default backends get a /name suffix on their scenarios).
+// Both also take -tune. For -serve it is the backend's knob set,
+// "k=v,k=v" (a -restore must carry matching knobs). For -net a plain
+// "k=v,k=v" tunes every self-test backend and suffixes every scenario
+// "+tuned", while the "backend:k=v,...;backend:k=v,..." form keeps the
+// untuned runs and adds one extra coalesced-contains run per entry —
+// how CI tracks tuned variants next to the defaults.
 package main
 
 import (
@@ -54,6 +62,7 @@ func main() {
 
 		serve    = flag.Bool("serve", false, "run the serving-layer throughput benchmark")
 		backend  = flag.String("backend", "", "serve/net: filter backend (net: comma-separated list; default habf)")
+		tune     = flag.String("tune", "", "serve/net: backend tuning knobs, k=v,k=v (net also takes backend:knobs;backend:knobs for extra tuned runs)")
 		shards   = flag.Int("shards", 8, "serve: shard count (rounded up to a power of two)")
 		dist     = flag.String("dist", "zipfian", "serve: key distribution (uniform|zipfian|sequential|latest)")
 		keys     = flag.Int("keys", 100000, "serve: positive/negative keys per side")
@@ -86,6 +95,7 @@ func main() {
 		cfg := netConfig{
 			addr:      *addr,
 			backends:  *backend,
+			tune:      *tune,
 			keys:      netKeys,
 			clients:   *clients,
 			ops:       netOps,
@@ -107,6 +117,7 @@ func main() {
 		cfg := serveConfig{
 			keys:     *keys,
 			backend:  *backend,
+			tune:     *tune,
 			shards:   *shards,
 			batch:    *batch,
 			workers:  *workers,

@@ -27,6 +27,7 @@ import (
 type netConfig struct {
 	addr      string // remote daemon base URL host:port; empty = in-process self-test
 	backends  string // comma-separated backend names for the self-test ("" = habf)
+	tune      string // tuning knobs: "k=v,k=v" or "backend:knobs;backend:knobs"
 	keys      int
 	clients   int
 	ops       int
@@ -48,6 +49,13 @@ func runNet(cfg netConfig, w io.Writer) error {
 	}
 	if cfg.keys < 1 || cfg.clients < 1 || cfg.batch < 1 || cfg.ops < 1 {
 		return fmt.Errorf("net: -keys, -clients, -batch and -ops must all be ≥ 1")
+	}
+	if cfg.tune != "" && cfg.addr != "" {
+		return fmt.Errorf("net: -tune configures the in-process self-test; a remote daemon's tuning is whatever it was started with (see habfserved -tune)")
+	}
+	plainTune, tunedRuns, err := parseTunePlan(cfg.tune)
+	if err != nil {
+		return err
 	}
 
 	data := dataset.YCSB(cfg.keys, cfg.keys, cfg.seed)
@@ -121,15 +129,21 @@ func runNet(cfg netConfig, w io.Writer) error {
 		if backendName != "habf" {
 			suffix = "/" + backendName
 		}
+		if plainTune != "" {
+			// The plain -tune form tunes every self-test backend, so every
+			// scenario this run produces is a tuned variant by name — never
+			// comparable against the untuned baselines.
+			suffix += "+tuned"
+		}
 
 		start := time.Now()
 		filter, err := habf.NewSharded(data.Positives, negatives, uint64(10*cfg.keys),
-			habf.WithShards(cfg.shards), habf.WithBackend(backendName))
+			habf.WithShards(cfg.shards), habf.WithBackend(backendName), habf.WithTuning(plainTune))
 		if err != nil {
 			return fmt.Errorf("net: build %s: %w", backendName, err)
 		}
-		fmt.Fprintf(w, "target: in-process self-test (%d shards, backend %s, built in %v)\n\n",
-			filter.NumShards(), filter.Backend(), time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(w, "target: in-process self-test (%d shards, backend %s, tuning %q, built in %v)\n\n",
+			filter.NumShards(), filter.Backend(), filter.Tuning(), time.Since(start).Round(time.Millisecond))
 
 		run := func(name string, coalesce server.CoalesceConfig, loop loopFunc, withWriters bool) error {
 			stop, err := g.startServer(filter, coalesce)
@@ -158,7 +172,81 @@ func runNet(cfg netConfig, w io.Writer) error {
 		}
 		fmt.Fprintln(w)
 	}
+
+	// The "backend:knobs" -tune entries each add one tuned-variant run of
+	// the representative coalesced-contains scenario, next to — not
+	// instead of — the untuned runs above. This is how CI keeps a tuned
+	// entry per backend in the committed baseline without doubling the
+	// whole matrix.
+	for _, tr := range tunedRuns {
+		suffix := "+tuned"
+		if tr.backend != "habf" {
+			suffix = "/" + tr.backend + "+tuned"
+		}
+		start := time.Now()
+		filter, err := habf.NewSharded(data.Positives, negatives, uint64(10*cfg.keys),
+			habf.WithShards(cfg.shards), habf.WithBackend(tr.backend), habf.WithTuning(tr.knobs))
+		if err != nil {
+			return fmt.Errorf("net: build tuned %s: %w", tr.backend, err)
+		}
+		fmt.Fprintf(w, "target: in-process self-test (%d shards, backend %s, tuning %q, built in %v)\n\n",
+			filter.NumShards(), filter.Backend(), filter.Tuning(), time.Since(start).Round(time.Millisecond))
+		stop, err := g.startServer(filter, server.CoalesceConfig{})
+		if err != nil {
+			return err
+		}
+		err = g.scenario("net/contains/coalesced"+suffix, g.containsLoop, false)
+		stop()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
 	return g.finish()
+}
+
+// tunedRun is one "backend:knobs" entry of the -tune flag: an extra
+// coalesced-contains scenario for that backend at those knobs.
+type tunedRun struct {
+	backend string
+	knobs   string
+}
+
+// parseTunePlan interprets -net's -tune flag. A plain "k=v,k=v" tunes
+// every self-test backend in place; one or more ";"-separated
+// "backend:k=v,..." entries instead request extra tuned runs beside
+// the untuned ones.
+func parseTunePlan(s string) (plain string, runs []tunedRun, err error) {
+	if strings.TrimSpace(s) == "" {
+		return "", nil, nil
+	}
+	if !strings.Contains(s, ":") {
+		if strings.Contains(s, ";") {
+			return "", nil, fmt.Errorf("net: -tune %q: ';'-separated entries need a backend: prefix", s)
+		}
+		return strings.TrimSpace(s), nil, nil
+	}
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, knobs, ok := strings.Cut(part, ":")
+		name, knobs = strings.TrimSpace(name), strings.TrimSpace(knobs)
+		if !ok || name == "" || strings.Contains(name, "=") {
+			return "", nil, fmt.Errorf("net: -tune entry %q: want backend:k=v,k=v", part)
+		}
+		if knobs == "" {
+			return "", nil, fmt.Errorf("net: -tune entry %q: no knobs (defaults are already benchmarked untuned)", part)
+		}
+		// Validate eagerly so a typo fails before any untuned scenario
+		// spends minutes of bench time.
+		if _, err := habf.ParseTuning(name, knobs); err != nil {
+			return "", nil, fmt.Errorf("net: -tune entry %q: %w", part, err)
+		}
+		runs = append(runs, tunedRun{backend: name, knobs: knobs})
+	}
+	return "", runs, nil
 }
 
 // backendList normalizes the -backend flag for the self-test loop.
@@ -440,7 +528,7 @@ func (g *netGen) finish() error {
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 		CPUs:      runtime.NumCPU(),
-		Note:      fmt.Sprintf("habfbench -net: %d keys, %s access, %d clients, batch %d, backends %s", g.cfg.keys, g.cfg.dist, g.cfg.clients, g.cfg.batch, g.noteBackends),
+		Note:      fmt.Sprintf("habfbench -net: %d keys, %s access, %d clients, batch %d, backends %s%s", g.cfg.keys, g.cfg.dist, g.cfg.clients, g.cfg.batch, g.noteBackends, tuneNote(g.cfg.tune)),
 		Results:   g.results,
 	}
 	if err := benchfmt.Write(g.cfg.benchjson, f); err != nil {
@@ -448,4 +536,12 @@ func (g *netGen) finish() error {
 	}
 	fmt.Fprintf(g.out, "\nwrote %s (%d results)\n", g.cfg.benchjson, len(g.results))
 	return nil
+}
+
+// tuneNote renders the -tune flag for the benchjson note line.
+func tuneNote(tune string) string {
+	if tune == "" {
+		return ""
+	}
+	return ", tune " + tune
 }

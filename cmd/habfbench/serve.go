@@ -19,6 +19,7 @@ import (
 type serveConfig struct {
 	keys     int
 	backend  string // filter backend of the sharded set ("" = habf)
+	tune     string // backend tuning knobs, "k=v,k=v" ("" = defaults)
 	shards   int
 	batch    int
 	workers  int
@@ -71,12 +72,24 @@ func runServe(cfg serveConfig, w io.Writer) error {
 			return fmt.Errorf("restore: snapshot holds a %q filter, but -backend %q was requested",
 				sharded.Backend(), cfg.backend)
 		}
+		// Tuning knobs are durable in the snapshot; like -backend, a -tune
+		// that contradicts them is an operator error, not a request the
+		// restore can honor.
+		if cfg.tune != "" {
+			want, err := habf.ParseTuning(sharded.Backend(), cfg.tune)
+			if err != nil {
+				return fmt.Errorf("restore: -tune: %w", err)
+			}
+			if got := sharded.Tuning(); got != want {
+				return fmt.Errorf("restore: snapshot tuning %q does not match -tune (%q)", got, want)
+			}
+		}
 		shardedBuild = time.Since(start)
 		restored = true
 	} else {
 		start = time.Now()
 		sharded, err = habf.NewSharded(data.Positives, negatives, bits,
-			habf.WithShards(cfg.shards), habf.WithBackend(cfg.backend))
+			habf.WithShards(cfg.shards), habf.WithBackend(cfg.backend), habf.WithTuning(cfg.tune))
 		if err != nil {
 			return err
 		}

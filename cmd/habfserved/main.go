@@ -22,6 +22,12 @@
 // is a startup error rather than a misdecode. The active backend is
 // reported in /v1/stats and /metrics.
 //
+// -tune sets the backend's tuning knobs ("k=v,k=v", validated against
+// the family's schema — see the README's Tuning section). A synthetic
+// filter is built with them; on -restore the snapshot's durable knobs
+// win, and a -tune that contradicts them (or names an unknown knob) is
+// a startup error. The effective tuning is reported in /v1/stats.
+//
 // Shutdown is graceful: on SIGINT/SIGTERM the listener stops accepting,
 // in-flight requests and coalesced batches drain, and with
 // -snapshot-on-exit a final checkpoint is written to the -snapshot path.
@@ -50,6 +56,7 @@ func main() {
 		restore  = flag.String("restore", "", "restore the filter from this snapshot at startup")
 		keys     = flag.Int("keys", 0, "build a synthetic filter with this many keys per side (when not restoring)")
 		backend  = flag.String("backend", "", "filter backend: "+strings.Join(habf.Backends(), "|")+" (default habf; restores auto-detect and must match when set)")
+		tune     = flag.String("tune", "", "backend tuning knobs, k=v,k=v (restores carry their own and must match when set)")
 		shards   = flag.Int("shards", 8, "shard count for a synthetic filter (rounded up to a power of two)")
 		seed     = flag.Int64("seed", 1, "seed for the synthetic filter's keys and construction")
 		bits     = flag.Float64("bits", 10, "bits per key for a synthetic filter")
@@ -65,7 +72,7 @@ func main() {
 	)
 	flag.Parse()
 	if err := run(config{
-		addr: *addr, restore: *restore, keys: *keys, backend: *backend, shards: *shards,
+		addr: *addr, restore: *restore, keys: *keys, backend: *backend, tune: *tune, shards: *shards,
 		seed: *seed, bits: *bits, snapPath: *snapPath, snapExit: *snapExit,
 		drainTimeout: *drainTimeout,
 		coalesce: server.CoalesceConfig{
@@ -86,6 +93,7 @@ type config struct {
 	restore      string
 	keys         int
 	backend      string
+	tune         string
 	shards       int
 	seed         int64
 	bits         float64
@@ -110,6 +118,19 @@ func buildFilter(cfg config) (*habf.Sharded, error) {
 			return nil, fmt.Errorf("restore %s: snapshot holds a %q filter, but -backend %q was requested",
 				cfg.restore, f.Backend(), cfg.backend)
 		}
+		// The snapshot's tuning knobs are durable; like -backend, a -tune
+		// that contradicts them (or fails the schema) is an operator error
+		// worth failing on, not a config the restore can honor.
+		if cfg.tune != "" {
+			want, err := habf.ParseTuning(f.Backend(), cfg.tune)
+			if err != nil {
+				return nil, fmt.Errorf("restore %s: -tune: %w", cfg.restore, err)
+			}
+			if got := f.Tuning(); got != want {
+				return nil, fmt.Errorf("restore %s: snapshot tuning %q does not match -tune (%q)",
+					cfg.restore, got, want)
+			}
+		}
 		st := f.Stats()
 		fmt.Fprintf(os.Stderr, "habfserved: restored %s in %v (%d shards, backend %s, %.1f KiB)\n",
 			cfg.restore, time.Since(start).Round(time.Millisecond), st.Shards, f.Backend(), float64(st.SizeBits)/8/1024)
@@ -126,7 +147,7 @@ func buildFilter(cfg config) (*habf.Sharded, error) {
 		negatives[i] = habf.WeightedKey{Key: data.Negatives[i], Cost: costs[i]}
 	}
 	f, err := habf.NewSharded(data.Positives, negatives, uint64(cfg.bits*float64(cfg.keys)),
-		habf.WithShards(cfg.shards), habf.WithBackend(cfg.backend),
+		habf.WithShards(cfg.shards), habf.WithBackend(cfg.backend), habf.WithTuning(cfg.tune),
 		habf.WithShardFilterOptions(habf.WithSeed(cfg.seed)))
 	if err != nil {
 		return nil, fmt.Errorf("build: %w", err)

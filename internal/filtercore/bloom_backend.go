@@ -1,6 +1,8 @@
 package filtercore
 
 import (
+	"fmt"
+	"math"
 	"sync/atomic"
 
 	"repro/internal/bloom"
@@ -9,9 +11,10 @@ import (
 
 // bloomBackend adapts the standard Bloom filter baseline to the Backend
 // interface. It is mutable (Add sets bits) but cost-oblivious: the
-// shard's weighted negatives are ignored. The backend always uses the
-// XXH128 double-hashing strategy — the fastest of the paper's three
-// Bloom flavours and the one with no corpus-size cap on k.
+// shard's weighted negatives are ignored. The hash strategy and hash
+// count are tuning knobs; the default is XXH128 double hashing — the
+// fastest of the paper's three Bloom flavours and the one with no
+// corpus-size cap on k — with the FPR-optimal k for the bit budget.
 type bloomBackend struct {
 	f *bloom.Filter
 	// added counts post-construction Adds; the underlying filter only
@@ -40,17 +43,51 @@ func (b *bloomBackend) Add(key []byte) error {
 	return nil
 }
 
+// bloomStrategies maps the "strategy" knob's enum values to the hash
+// derivations of the bloom package.
+var bloomStrategies = map[string]bloom.Strategy{
+	"corpus":   bloom.StrategyCorpus,
+	"seeded64": bloom.StrategySeeded64,
+	"split128": bloom.StrategySplit128,
+}
+
 func init() {
 	Register(Factory{
 		Name:      "bloom",
 		Kind:      KindBloom,
 		Static:    false,
 		InnerName: func(habf.Params) string { return bloom.StrategySplit128.String() },
+		TuningSchema: NewSchema(
+			Knob{Name: "strategy", Type: KnobEnum, Enum: []string{"corpus", "seeded64", "split128"},
+				Default: "split128", Doc: "hash derivation: corpus (Table II function pool), seeded64 (re-seeded City64), split128 (XXH128 double hashing)"},
+			Knob{Name: "k", Type: KnobInt, Min: 0, Max: 30,
+				Default: "0", Doc: "hash positions per key; 0 derives the FPR-optimal round(ln2 · bits-per-key)"},
+		),
 		Build: func(positives [][]byte, _ []habf.WeightedKey, cfg BuildConfig) (Backend, error) {
+			if len(positives) == 0 {
+				return nil, fmt.Errorf("bloom: empty key set")
+			}
 			bitsPerKey := float64(cfg.TotalBits) / float64(len(positives))
-			f, err := bloom.NewWithKeys(positives, bitsPerKey, bloom.StrategySplit128)
+			// Keep NewWithKeys's exact sizing so a default tuning builds a
+			// bit-identical filter to the pre-knob code path.
+			m := uint64(math.Ceil(bitsPerKey * float64(len(positives))))
+			if m == 0 {
+				m = 1
+			}
+			k := cfg.Tuning.Int("k")
+			if k == 0 {
+				k = bloom.OptimalK(bitsPerKey)
+			}
+			strategy := bloom.StrategySplit128
+			if name := cfg.Tuning.Value("strategy"); name != "" {
+				strategy = bloomStrategies[name]
+			}
+			f, err := bloom.New(m, k, strategy)
 			if err != nil {
 				return nil, err
+			}
+			for _, key := range positives {
+				f.Add(key)
 			}
 			return &bloomBackend{f: f}, nil
 		},

@@ -96,6 +96,10 @@ type BuildConfig struct {
 	// ablation switches). Non-HABF backends use the fields that apply to
 	// them — typically none or just the seed — and ignore the rest.
 	Params habf.Params
+	// Tuning is the validated knob set for the backend family (parsed
+	// against the factory's TuningSchema). The zero Tuning means "all
+	// defaults"; builders must treat it like DefaultTuning.
+	Tuning Tuning
 }
 
 // Factory describes one registered backend family.
@@ -110,6 +114,10 @@ type Factory struct {
 	// InnerName renders the per-shard display name for a construction
 	// template, without building anything ("HABF" vs "f-HABF").
 	InnerName func(p habf.Params) string
+	// TuningSchema declares the family's tuning knobs (names, types,
+	// bounds, defaults). Every factory must declare one, even if empty,
+	// so ParseTuning/DefaultTuning work uniformly across backends.
+	TuningSchema *Schema
 	// Build constructs a backend over the shard's keys. Negatives carry
 	// misidentification costs; families that cannot exploit them ignore
 	// them.
@@ -134,7 +142,7 @@ var (
 func Register(f Factory) {
 	regMu.Lock()
 	defer regMu.Unlock()
-	if f.Name == "" || f.Build == nil || f.Unmarshal == nil || f.UnmarshalBorrow == nil || f.InnerName == nil {
+	if f.Name == "" || f.Build == nil || f.Unmarshal == nil || f.UnmarshalBorrow == nil || f.InnerName == nil || f.TuningSchema == nil {
 		panic(fmt.Sprintf("filtercore: incomplete factory %+v", f))
 	}
 	if _, dup := byName[f.Name]; dup {

@@ -46,9 +46,23 @@ func init() {
 			}
 			return "HABF"
 		},
+		TuningSchema: NewSchema(
+			Knob{Name: "k", Type: KnobInt, Min: 0, Max: 31,
+				Default: "0", Doc: "candidate hash functions per key (bounded by what cellbits can index); 0 means 3"},
+			Knob{Name: "cellbits", Type: KnobEnum, Enum: []string{"0", "3", "4", "5", "6"},
+				Default: "0", Doc: "HashExpressor cell width in bits; 0 means 4"},
+		),
 		Build: func(positives [][]byte, negatives []habf.WeightedKey, cfg BuildConfig) (Backend, error) {
+			// Tuning knobs and the legacy WithK/WithCellBits options land in
+			// the same Params fields; a set knob wins over the option.
 			p := cfg.Params
 			p.TotalBits = cfg.TotalBits
+			if k := cfg.Tuning.Int("k"); k != 0 {
+				p.K = k
+			}
+			if cb := cfg.Tuning.Int("cellbits"); cb != 0 {
+				p.CellBits = uint(cb)
+			}
 			f, err := habf.New(positives, negatives, p)
 			if err != nil {
 				return nil, err

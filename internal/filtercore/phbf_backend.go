@@ -37,8 +37,20 @@ func init() {
 		Kind:      KindPHBF,
 		Static:    true,
 		InnerName: func(habf.Params) string { return "PHBF" },
+		TuningSchema: NewSchema(
+			Knob{Name: "groups", Type: KnobInt, Min: 0, Max: 65536,
+				Default: "0", Doc: "key partitions, each with its own greedily chosen seed; 0 means 64"},
+			Knob{Name: "candidates", Type: KnobInt, Min: 0, Max: 1024,
+				Default: "0", Doc: "candidate seeds tried per group by the greedy selection; 0 means 8"},
+			Knob{Name: "absorb", Type: KnobInt, Min: 0, Max: 1 << 20,
+				Default: "4096", Doc: "pending keys on a restored shard that trigger a background absorb into a mutable sidecar; 0 disables"},
+		),
 		Build: func(positives [][]byte, _ []habf.WeightedKey, cfg BuildConfig) (Backend, error) {
-			f, err := phbf.New(positives, phbf.Config{TotalBits: cfg.TotalBits})
+			f, err := phbf.New(positives, phbf.Config{
+				TotalBits:  cfg.TotalBits,
+				Groups:     cfg.Tuning.Int("groups"),
+				Candidates: cfg.Tuning.Int("candidates"),
+			})
 			if err != nil {
 				return nil, err
 			}

@@ -45,12 +45,25 @@ func init() {
 		Kind:      KindWBF,
 		Static:    false,
 		InnerName: func(habf.Params) string { return "WBF" },
+		TuningSchema: NewSchema(
+			Knob{Name: "cache", Type: KnobFloat, Min: 0, Max: 1,
+				Default: "0.05", Doc: "fraction of cost-descending negatives whose hash count is cached for query time; 0 means the 0.05 default"},
+			Knob{Name: "k", Type: KnobInt, Min: 0, Max: 60,
+				Default: "0", Doc: "base hash count for average-cost keys; 0 derives round(ln2 · bits-per-key)"},
+			Knob{Name: "maxk", Type: KnobInt, Min: 0, Max: 64,
+				Default: "0", Doc: "ceiling on per-key hash counts; 0 means base k + 4"},
+		),
 		Build: func(positives [][]byte, negatives []habf.WeightedKey, cfg BuildConfig) (Backend, error) {
 			conv := make([]wbf.WeightedKey, len(negatives))
 			for i, n := range negatives {
 				conv[i] = wbf.WeightedKey{Key: n.Key, Cost: n.Cost}
 			}
-			f, err := wbf.New(positives, conv, wbf.Config{TotalBits: cfg.TotalBits})
+			f, err := wbf.New(positives, conv, wbf.Config{
+				TotalBits:     cfg.TotalBits,
+				BaseK:         cfg.Tuning.Int("k"),
+				CacheFraction: cfg.Tuning.Float("cache"),
+				MaxK:          cfg.Tuning.Int("maxk"),
+			})
 			if err != nil {
 				return nil, err
 			}

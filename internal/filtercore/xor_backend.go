@@ -52,10 +52,22 @@ func init() {
 		Kind:      KindXor,
 		Static:    true,
 		InnerName: func(habf.Params) string { return "Xor" },
+		TuningSchema: NewSchema(
+			Knob{Name: "width", Type: KnobInt, Min: 0, Max: 32,
+				Default: "0", Doc: "fingerprint width in bits; 0 derives ⌊b/(1.23+32/n)⌋ from the bits-per-key budget"},
+			Knob{Name: "absorb", Type: KnobInt, Min: 0, Max: 1 << 20,
+				Default: "4096", Doc: "pending keys on a restored shard that trigger a background absorb into a mutable sidecar; 0 disables"},
+		),
 		Build: func(positives [][]byte, _ []habf.WeightedKey, cfg BuildConfig) (Backend, error) {
 			unique := dedupe(positives)
-			bitsPerKey := float64(cfg.TotalBits) / float64(len(positives))
-			f, err := xorfilter.NewWithBudget(unique, bitsPerKey)
+			var f *xorfilter.Filter
+			var err error
+			if width := cfg.Tuning.Int("width"); width > 0 {
+				f, err = xorfilter.New(unique, uint(width))
+			} else {
+				bitsPerKey := float64(cfg.TotalBits) / float64(len(positives))
+				f, err = xorfilter.NewWithBudget(unique, bitsPerKey)
+			}
 			if err != nil {
 				return nil, err
 			}

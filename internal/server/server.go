@@ -111,6 +111,12 @@ func New(cfg Config) (*Server, error) {
 		func() float64 { return float64(s.filter.NumShards()) })
 	s.reg.Gauge("habfserved_filter_rebuilds", "Completed background rebuilds.",
 		func() float64 { return float64(s.filter.Stats().Rebuilds) })
+	s.reg.Gauge("habfserved_filter_pending_keys", "Static-backend Adds buffered outside the shard filters (bounded by the backend's absorb knob on restored sets).",
+		func() float64 { return float64(s.filter.Stats().Pending) })
+	s.reg.Gauge("habfserved_filter_restored_shards", "Shards serving a snapshot-restored filter (no drift rebuilds).",
+		func() float64 { return float64(s.filter.Stats().Restored) })
+	s.reg.Gauge("habfserved_filter_absorbs", "Pending maps absorbed into mutable sidecars on restored shards.",
+		func() float64 { return float64(s.filter.Stats().Absorbs) })
 	s.reg.Gauge("habfserved_coalesce_batches", "Micro-batches dispatched.",
 		func() float64 { return float64(s.co.Stats().Batches) })
 	s.reg.Gauge("habfserved_coalesce_keys", "Keys answered through micro-batches.",
@@ -258,10 +264,13 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 type statsResponse struct {
 	Name     string           `json:"name"`
 	Backend  string           `json:"backend"`
+	Tuning   string           `json:"tuning"`
 	Keys     uint64           `json:"keys"`
 	Added    uint64           `json:"added"`
 	Pending  uint64           `json:"pending"`
 	Rebuilds uint64           `json:"rebuilds"`
+	Absorbs  uint64           `json:"absorbs"`
+	Restored int              `json:"restored_shards"`
 	SizeBits uint64           `json:"size_bits"`
 	Shards   []habf.ShardInfo `json:"shards"`
 	Coalesce CoalesceStats    `json:"coalesce"`
@@ -276,10 +285,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, statsResponse{
 		Name:     s.filter.Name(),
 		Backend:  s.filter.Backend(),
+		Tuning:   s.filter.Tuning(),
 		Keys:     st.Keys,
 		Added:    st.Added,
 		Pending:  st.Pending,
 		Rebuilds: st.Rebuilds,
+		Absorbs:  st.Absorbs,
+		Restored: st.Restored,
 		SizeBits: st.SizeBits,
 		Shards:   s.filter.ShardInfos(),
 		Coalesce: s.co.Stats(),

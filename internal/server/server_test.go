@@ -293,10 +293,54 @@ func TestMetricsEndpoint(t *testing.T) {
 		`habfserved_contains_duration_seconds_bucket{le="+Inf"} 10`,
 		"habfserved_filter_keys 500",
 		fmt.Sprintf("habfserved_filter_shards %d", filter.NumShards()),
+		"habfserved_filter_pending_keys 0",
+		"habfserved_filter_restored_shards 0",
+		"habfserved_filter_absorbs 0",
 	} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("metrics output missing %q:\n%s", want, text)
 		}
+	}
+}
+
+// TestStatsReportsTuning pins that /v1/stats surfaces the effective
+// backend tuning so operators can confirm what a server is actually
+// running with (the flag-to-wire contract behind habfserved -tune).
+func TestStatsReportsTuning(t *testing.T) {
+	data := dataset.YCSB(500, 500, 7)
+	negatives := make([]habf.WeightedKey, 500)
+	for i := range negatives {
+		negatives[i] = habf.WeightedKey{Key: data.Negatives[i], Cost: 1}
+	}
+	filter, err := habf.NewSharded(data.Positives, negatives, 5000,
+		habf.WithShards(2), habf.WithBackend("bloom"), habf.WithTuning("strategy=seeded64", "k=8"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, hs := newTestServer(t, filter, Config{})
+
+	resp, err := http.Get(hs.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Backend != "bloom" {
+		t.Fatalf("stats backend %q, want bloom", st.Backend)
+	}
+	if want := filter.Tuning(); st.Tuning != want || st.Tuning == "" {
+		t.Fatalf("stats tuning %q, want %q", st.Tuning, want)
+	}
+	for _, knob := range []string{"strategy=seeded64", "k=8"} {
+		if !strings.Contains(st.Tuning, knob) {
+			t.Fatalf("stats tuning %q missing requested knob %q", st.Tuning, knob)
+		}
+	}
+	if st.Restored != 0 || st.Absorbs != 0 {
+		t.Fatalf("fresh build reports restored=%d absorbs=%d, want 0/0", st.Restored, st.Absorbs)
 	}
 }
 

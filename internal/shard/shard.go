@@ -60,6 +60,12 @@ type Config struct {
 	// Backend names the registered filtercore backend every shard is
 	// built with. Empty means the default ("habf").
 	Backend string
+	// Tuning is the backend's knob string ("k=v,k=v"), parsed and
+	// validated against the backend's tuning schema. Empty means every
+	// knob at its default. Unset knobs with a non-zero Params equivalent
+	// (HABF's K and CellBits) inherit from Params, so the legacy options
+	// and the tuning plane describe one configuration.
+	Tuning string
 }
 
 // DefaultShards is the shard count when Config.Shards is zero.
@@ -81,9 +87,13 @@ type Set struct {
 	threshold   float64
 	baseParams  habf.Params // construction template with the base seed
 	backend     *filtercore.Factory
+	tuning      filtercore.Tuning // effective knob set, reused by every (re)build
+	tuningStr   string            // canonical form of tuning, cached
+	absorbEvery int               // "absorb" knob: restored-shard pending threshold
 	bitsPerKey  float64
 	rebuilds    atomic.Uint64
 	rebuildErrs atomic.Uint64
+	absorbs     atomic.Uint64
 	rebuildWG   sync.WaitGroup
 }
 
@@ -117,7 +127,14 @@ type shard struct {
 	// rebuild absorbs it. Invariant under mu: every key in positives is
 	// either represented by f or present in pending.
 	pending  map[string]struct{}
-	baseline int // keys represented by f at the last (re)build
+	// sidecar is a mutable overlay a restored static shard absorbs its
+	// pending keys into once they cross the absorb threshold: built over
+	// the full in-memory positives (a superset of pending), so the
+	// pending map can be cleared without breaking zero false negatives.
+	// Queries consult it between the filter and the pending map.
+	sidecar   filtercore.Backend
+	absorbing bool
+	baseline  int // keys represented by f at the last (re)build
 	// builds counts filter swaps. A background rebuild records it at
 	// start and discards its result if another swap (a snapshot-time
 	// pending absorb, built from a longer key prefix) landed meanwhile —
@@ -168,15 +185,26 @@ func New(positives [][]byte, negatives []habf.WeightedKey, cfg Config) (*Set, er
 	if params.Seed == 0 {
 		params.Seed = 1
 	}
+	tun, err := backend.ParseTuning(cfg.Tuning)
+	if err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	tun, params, err = reconcileTuning(backend, tun, params)
+	if err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
 
 	s := &Set{
-		shards:     make([]*shard, n),
-		shift:      uint(64 - bits.TrailingZeros(uint(n))),
-		routeSeed:  uint64(params.Seed)*0x2545f4914f6cdd1d + 0x9e3779b97f4a7c15,
-		threshold:  threshold,
-		baseParams: params,
-		backend:    backend,
-		bitsPerKey: float64(cfg.TotalBits) / float64(len(positives)),
+		shards:      make([]*shard, n),
+		shift:       uint(64 - bits.TrailingZeros(uint(n))),
+		routeSeed:   uint64(params.Seed)*0x2545f4914f6cdd1d + 0x9e3779b97f4a7c15,
+		threshold:   threshold,
+		baseParams:  params,
+		backend:     backend,
+		tuning:      tun,
+		tuningStr:   tun.String(),
+		absorbEvery: tun.Int("absorb"),
+		bitsPerKey:  float64(cfg.TotalBits) / float64(len(positives)),
 	}
 
 	// Partition by fingerprint prefix.
@@ -232,6 +260,35 @@ func New(positives [][]byte, negatives []habf.WeightedKey, cfg Config) (*Set, er
 	return s, nil
 }
 
+// reconcileTuning makes the legacy HABF Params toggles and the tuning
+// knobs describe one configuration: a Params field set through WithK or
+// WithCellBits is folded into an unset tuning knob (so snapshots, stats
+// and rebuilds report and reuse it), and a set knob is written back into
+// the Params template (so construction and validation see it). An
+// explicitly set knob wins over the option. Non-HABF backends pass
+// through untouched.
+func reconcileTuning(backend *filtercore.Factory, tun filtercore.Tuning, p habf.Params) (filtercore.Tuning, habf.Params, error) {
+	if backend.Name != filtercore.DefaultBackend {
+		return tun, p, nil
+	}
+	var err error
+	if k := tun.Int("k"); k != 0 {
+		p.K = k
+	} else if p.K != 0 {
+		if tun, err = tun.With("k", fmt.Sprint(p.K)); err != nil {
+			return tun, p, err
+		}
+	}
+	if cb := tun.Int("cellbits"); cb != 0 {
+		p.CellBits = uint(cb)
+	} else if p.CellBits != 0 {
+		if tun, err = tun.With("cellbits", fmt.Sprint(p.CellBits)); err != nil {
+			return tun, p, err
+		}
+	}
+	return tun, p, nil
+}
+
 // perturbSeed derives a per-shard seed that is deterministic in the base
 // seed but decorrelated across shards (and never the zero value that
 // Params would re-default).
@@ -259,6 +316,7 @@ func (sh *shard) build(keys [][]byte) (filtercore.Backend, error) {
 	return sh.set.backend.Build(keys, sh.negatives, filtercore.BuildConfig{
 		TotalBits: totalBits,
 		Params:    sh.params,
+		Tuning:    sh.set.tuning,
 	})
 }
 
@@ -282,8 +340,14 @@ func (sh *shard) hasPending(key []byte) bool {
 
 // drift counts post-build Adds not yet folded into a rebuild: keys the
 // mutable filter absorbed degraded plus keys a static filter left
-// pending.
+// pending. On a restored shard every in-memory positive is a
+// post-restore Add (the snapshot's key list never loads), so the
+// positives length is the drift — it keeps counting after a sidecar
+// absorb clears the pending map.
 func (sh *shard) drift() uint64 {
+	if sh.restored {
+		return uint64(len(sh.positives))
+	}
 	var d uint64
 	if sh.f != nil {
 		d = sh.f.AddedKeys()
@@ -297,6 +361,9 @@ func (s *Set) Contains(key []byte) bool {
 	sh := s.shards[s.route(key)]
 	sh.mu.RLock()
 	ok := sh.f != nil && sh.f.Contains(key)
+	if !ok && sh.sidecar != nil {
+		ok = sh.sidecar.Contains(key)
+	}
 	if !ok {
 		ok = sh.hasPending(key)
 	}
@@ -356,6 +423,7 @@ func (s *Set) containsChunk(out []bool, keys [][]byte) {
 
 	var filters [maxChunkLocks]filtercore.Backend
 	var scratchers [maxChunkLocks]scratchQuerier
+	var sidecars [maxChunkLocks]filtercore.Backend
 	var pendings [maxChunkLocks]map[string]struct{}
 	for id := 0; id < n; id++ {
 		s.shards[id].mu.RLock()
@@ -363,6 +431,7 @@ func (s *Set) containsChunk(out []bool, keys [][]byte) {
 		if sq, ok := filters[id].(scratchQuerier); ok {
 			scratchers[id] = sq
 		}
+		sidecars[id] = s.shards[id].sidecar
 		pendings[id] = s.shards[id].pending
 	}
 	var buf [32]uint8
@@ -374,6 +443,9 @@ func (s *Set) containsChunk(out []bool, keys [][]byte) {
 			ok = scratchers[id].ContainsScratch(key, buf[:0])
 		case filters[id] != nil:
 			ok = filters[id].Contains(key)
+		}
+		if !ok && sidecars[id] != nil {
+			ok = sidecars[id].Contains(key)
 		}
 		if !ok && pendings[id] != nil {
 			_, ok = pendings[id][string(key)]
@@ -422,9 +494,14 @@ func (s *Set) Add(key []byte) {
 		// member, or a false-positive collision), where pending would add
 		// only drift and rebuild churn. Either way the key is in
 		// positives, so the next rebuild represents it directly and the
-		// answer stays true forever.
+		// answer stays true forever. A restored shard that has already
+		// absorbed into a sidecar sends the key straight there instead.
 		if !sh.f.Contains(key) {
-			sh.addPending(key)
+			if sh.restored && sh.sidecar != nil {
+				sh.sidecar.Add(key)
+			} else {
+				sh.addPending(key)
+			}
 		}
 	}
 	if s.threshold > 0 && !sh.rebuilding && !sh.restored &&
@@ -433,6 +510,68 @@ func (s *Set) Add(key []byte) {
 		s.rebuildWG.Add(1)
 		go sh.rebuild()
 	}
+	// A restored static shard cannot drift-rebuild (no full key list in
+	// memory), so its buffered Adds are bounded differently: once they
+	// cross the absorb threshold, a background absorb folds everything
+	// added since restore into a fresh mutable sidecar.
+	if sh.restored && s.absorbEvery > 0 && !sh.absorbing &&
+		(len(sh.pending) >= s.absorbEvery ||
+			(sh.sidecar != nil && sh.sidecar.AddedKeys() >= uint64(s.absorbEvery))) {
+		sh.absorbing = true
+		s.rebuildWG.Add(1)
+		go sh.absorbIntoSidecar()
+	}
+}
+
+// absorbIntoSidecar bounds a restored static shard's buffered Adds:
+// it builds a mutable sidecar over every key added since restore (the
+// shard's in-memory positives, a superset of the pending map) and
+// installs it in place of the pending map. The same discipline as the
+// snapshot-time absorb applies — addMu freezes the key list while the
+// sidecar builds outside every lock, then a brief write-locked swap —
+// so readers are never blocked and zero false negatives hold
+// throughout.
+func (sh *shard) absorbIntoSidecar() {
+	defer sh.set.rebuildWG.Done()
+	sh.addMu.Lock()
+	defer sh.addMu.Unlock()
+
+	sh.mu.RLock()
+	n0 := len(sh.positives)
+	keys := sh.positives[:n0:n0]
+	sh.mu.RUnlock()
+
+	side, err := sh.set.buildSidecar(keys)
+
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.absorbing = false
+	if err != nil {
+		sh.set.rebuildErrs.Add(1)
+		return
+	}
+	sh.sidecar = side
+	sh.pending = nil
+	sh.epoch.Add(1)
+	sh.set.absorbs.Add(1)
+}
+
+// buildSidecar builds the mutable overlay restored static shards absorb
+// into: a standard Bloom filter at default tuning over keys, sized by
+// the set's bits-per-key budget.
+func (s *Set) buildSidecar(keys [][]byte) (filtercore.Backend, error) {
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("shard: empty sidecar key set")
+	}
+	side, err := filtercore.ByName("bloom")
+	if err != nil {
+		return nil, err
+	}
+	totalBits := uint64(s.bitsPerKey * float64(len(keys)))
+	if totalBits < minShardBits {
+		totalBits = minShardBits
+	}
+	return side.Build(keys, nil, filtercore.BuildConfig{TotalBits: totalBits})
 }
 
 // rebuild reconstructs the shard's filter over its full current key set —
@@ -502,6 +641,11 @@ func (s *Set) NumShards() int { return len(s.shards) }
 // Backend returns the registry name of the backend every shard uses.
 func (s *Set) Backend() string { return s.backend.Name }
 
+// Tuning returns the effective knob set in canonical form — every knob
+// of the backend's schema with its explicit or default value, sorted,
+// "k=v,k=v". It is what snapshots persist and /v1/stats reports.
+func (s *Set) Tuning() string { return s.tuningStr }
+
 // Name identifies the filter in experiment output, e.g. "Sharded[8×HABF]".
 func (s *Set) Name() string {
 	return fmt.Sprintf("Sharded[%d×%s]", len(s.shards), s.backend.InnerName(s.baseParams))
@@ -514,6 +658,9 @@ func (s *Set) SizeBits() uint64 {
 		sh.mu.RLock()
 		if sh.f != nil {
 			total += sh.f.SizeBits()
+		}
+		if sh.sidecar != nil {
+			total += sh.sidecar.SizeBits()
 		}
 		sh.mu.RUnlock()
 	}
@@ -528,7 +675,11 @@ type Stats struct {
 	Pending       uint64 // Adds a static backend buffered outside its filter
 	Rebuilds      uint64 // background rebuilds completed
 	RebuildErrors uint64
-	SizeBits      uint64
+	// Absorbs counts sidecar absorbs on restored static shards: pending
+	// maps folded into a mutable overlay once they crossed the backend's
+	// "absorb" tuning knob.
+	Absorbs  uint64
+	SizeBits uint64
 	// Restored counts shards serving a snapshot-restored filter. Those
 	// shards do not auto-rebuild on drift (their pre-snapshot key list is
 	// not in memory); rotate them with a full rebuild when Added grows.
@@ -547,6 +698,7 @@ type ShardInfo struct {
 	SizeBits   uint64 `json:"size_bits"`  // query-time footprint
 	Restored   bool   `json:"restored"`   // serving a snapshot-restored filter
 	Rebuilding bool   `json:"rebuilding"` // background rebuild in flight
+	Sidecar    bool   `json:"sidecar"`    // restored shard absorbed pending into a sidecar
 }
 
 // ShardInfos samples every shard, one at a time (totals are approximate
@@ -563,9 +715,13 @@ func (s *Set) ShardInfos() []ShardInfo {
 			Epoch:      sh.epoch.Load(),
 			Restored:   sh.restored,
 			Rebuilding: sh.rebuilding,
+			Sidecar:    sh.sidecar != nil,
 		}
 		if sh.f != nil {
 			info.SizeBits = sh.f.SizeBits()
+		}
+		if sh.sidecar != nil {
+			info.SizeBits += sh.sidecar.SizeBits()
 		}
 		sh.mu.RUnlock()
 		out[i] = info
@@ -580,6 +736,7 @@ func (s *Set) Stats() Stats {
 		Shards:        len(s.shards),
 		Rebuilds:      s.rebuilds.Load(),
 		RebuildErrors: s.rebuildErrs.Load(),
+		Absorbs:       s.absorbs.Load(),
 	}
 	for _, sh := range s.shards {
 		sh.mu.RLock()
@@ -591,6 +748,9 @@ func (s *Set) Stats() Stats {
 		}
 		if sh.f != nil {
 			st.SizeBits += sh.f.SizeBits()
+		}
+		if sh.sidecar != nil {
+			st.SizeBits += sh.sidecar.SizeBits()
 		}
 		sh.mu.RUnlock()
 	}

@@ -78,6 +78,11 @@ func (s *Set) WriteSnapshot(w io.Writer) error {
 			return err
 		}
 	}
+	if meta.Tuning != "" {
+		if err := sw.WriteTuning(meta.Tuning); err != nil {
+			return err
+		}
+	}
 	if meta.HasPending {
 		if err := sw.WritePending(pending); err != nil {
 			return err
@@ -86,18 +91,27 @@ func (s *Set) WriteSnapshot(w io.Writer) error {
 	return sw.Close()
 }
 
-// collectRestoredPending gathers the pending keys of restored shards —
-// the ones absorbPending cannot fold into a frame (no key list to
-// rebuild from) — in sorted order, so identical sets serialize to
-// identical containers. Non-restored shards are skipped: their pending
-// keys are absorbed into their frames by marshalShard.
+// collectRestoredPending gathers the keys a restored shard's frozen
+// filter does not represent — the ones absorbPending cannot fold into a
+// frame (no key list to rebuild from) — in sorted deduped order, so
+// identical sets serialize to identical containers. A restored shard
+// that absorbed its pending map into a sidecar contributes its full
+// post-restore positives instead (the sidecar itself is probabilistic
+// state and never serializes); shards still carrying a pending map
+// contribute their positives too, a superset of the map that stays
+// stable across absorb timing. Non-restored shards are skipped: their
+// pending keys are absorbed into their frames by marshalShard.
 func (s *Set) collectRestoredPending() [][]byte {
 	var out [][]byte
+	seen := make(map[string]struct{})
 	for _, sh := range s.shards {
 		sh.mu.RLock()
-		if sh.restored {
-			for key := range sh.pending {
-				out = append(out, []byte(key))
+		if sh.restored && (len(sh.pending) > 0 || sh.sidecar != nil) {
+			for _, key := range sh.positives {
+				if _, dup := seen[string(key)]; !dup {
+					seen[string(key)] = struct{}{}
+					out = append(out, key)
+				}
 			}
 		}
 		sh.mu.RUnlock()
@@ -106,8 +120,20 @@ func (s *Set) collectRestoredPending() [][]byte {
 	return out
 }
 
+// nonDefaultTuning returns the set's canonical tuning string, or "" when
+// every knob is at its default — the form the container persists, so a
+// default-tuned set writes no tuning frame and stays byte-identical to
+// pre-tuning files.
+func (s *Set) nonDefaultTuning() string {
+	if s.tuningStr == s.backend.DefaultTuning().String() {
+		return ""
+	}
+	return s.tuningStr
+}
+
 func (s *Set) snapshotMeta() snapshot.Meta {
 	return snapshot.Meta{
+		Tuning:                s.nonDefaultTuning(),
 		Kind:                  snapshot.KindShardedSet,
 		Backend:               uint8(s.backend.Kind),
 		BaseSeed:              s.baseParams.Seed,
@@ -242,21 +268,41 @@ func Restore(snap *snapshot.Snapshot) (*Set, error) {
 	if base.Seed == 0 {
 		base.Seed = 1
 	}
+	// The tuning frame is hostile input like the floats above: parse it
+	// against the backend's schema so unknown knobs and out-of-bounds
+	// values fail loudly here, and insist on the canonical rendering —
+	// a Writer only ever emits canonical strings, and accepting variants
+	// would break the save-after-load byte-identity guarantee.
+	tun, err := backend.ParseTuning(snap.Meta.Tuning)
+	if err != nil {
+		return nil, fmt.Errorf("shard: snapshot tuning: %w", err)
+	}
+	if snap.Meta.Tuning != "" && tun.String() != snap.Meta.Tuning {
+		return nil, fmt.Errorf("shard: snapshot tuning %q is not canonical (want %q)", snap.Meta.Tuning, tun.String())
+	}
+	tun, base, err = reconcileTuning(backend, tun, base)
+	if err != nil {
+		return nil, fmt.Errorf("shard: snapshot tuning: %w", err)
+	}
 	// Same trust boundary as the float bounds above: K and CellBits feed
 	// the lazy-build path, where a build failure has no error channel
 	// back to the caller (the Add would land in the pending buffer
-	// forever). Reject the template here instead.
+	// forever). Reject the template — with any tuned overrides folded in
+	// — here instead.
 	if err := base.Validate(); err != nil {
 		return nil, fmt.Errorf("shard: snapshot params: %w", err)
 	}
 	s := &Set{
-		shards:     make([]*shard, n),
-		shift:      uint(64 - bits.TrailingZeros(uint(n))),
-		routeSeed:  snap.Meta.RouteSeed,
-		threshold:  snap.Meta.Threshold,
-		baseParams: base,
-		backend:    backend,
-		bitsPerKey: snap.Meta.BitsPerKey,
+		shards:      make([]*shard, n),
+		shift:       uint(64 - bits.TrailingZeros(uint(n))),
+		routeSeed:   snap.Meta.RouteSeed,
+		threshold:   snap.Meta.Threshold,
+		baseParams:  base,
+		backend:     backend,
+		tuning:      tun,
+		tuningStr:   tun.String(),
+		absorbEvery: tun.Int("absorb"),
+		bitsPerKey:  snap.Meta.BitsPerKey,
 	}
 	for i, fr := range snap.Frames {
 		p := base
@@ -294,6 +340,24 @@ func Restore(snap *snapshot.Snapshot) (*Set, error) {
 		}
 		if err := sh.f.Add(key); err != nil && !sh.f.Contains(key) {
 			sh.addPending(key)
+		}
+	}
+	// Re-buffered pending maps already past the absorb threshold fold
+	// into a sidecar right away, instead of waiting for the next Add to
+	// notice — a set that crossed the knob before saving comes back
+	// bounded.
+	if s.absorbEvery > 0 {
+		for _, sh := range s.shards {
+			if !sh.restored || len(sh.pending) < s.absorbEvery {
+				continue
+			}
+			side, err := s.buildSidecar(sh.positives)
+			if err != nil {
+				return nil, fmt.Errorf("shard: absorb pending: %w", err)
+			}
+			sh.sidecar = side
+			sh.pending = nil
+			s.absorbs.Add(1)
 		}
 	}
 	return s, nil

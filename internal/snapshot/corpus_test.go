@@ -130,6 +130,43 @@ func fuzzSnapshotSeeds(tb testing.TB) map[string][]byte {
 	pendRot := append([]byte(nil), pend...)
 	pendRot[len(pendRot)-30] ^= 0x10 // inside the pending frame / footer region
 	seeds["pending-bitrot"] = pendRot
+	// Tuning frame: a non-default knob set makes the snapshot carry the
+	// flagged tuning frame, giving the fuzzer the tuning decoder and the
+	// restore path's schema validation to mutate.
+	tunedSet, err := shard.New(pos, neg, shard.Config{Shards: 4, TotalBits: 300 * 12, Backend: "xor", Tuning: "width=9"})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tunedSnap, err := tunedSet.Snapshot()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if tunedSnap.Meta.Tuning == "" {
+		tb.Fatal("tuned seed carries no tuning frame")
+	}
+	tuned, err := tunedSnap.MarshalBinary()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	seeds["valid-tuning-frame"] = tuned
+	seeds["tuning-truncated"] = tuned[:len(tuned)-40]
+	tuneRot := append([]byte(nil), tuned...)
+	tuneRot[len(tuneRot)-30] ^= 0x10
+	seeds["tuning-bitrot"] = tuneRot
+	// Container-valid tuning frames the schema must reject at restore:
+	// an unknown knob and an out-of-bounds value.
+	for name, tuning := range map[string]string{
+		"tuning-unknown-knob":  "bogus=1",
+		"tuning-out-of-bounds": "absorb=4096,width=999",
+	} {
+		bad := &snapshot.Snapshot{Meta: tunedSnap.Meta, Frames: tunedSnap.Frames}
+		bad.Meta.Tuning = tuning
+		data, err := bad.MarshalBinary()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		seeds[name] = data
+	}
 	return seeds
 }
 

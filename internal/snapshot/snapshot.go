@@ -20,8 +20,17 @@
 //	frames (shardCount, in shard order):
 //	  epoch u64 | payloadLen u64 | payloadCRC u32 (CRC32C) | padLen u32 |
 //	  padLen zero bytes | payload
+//	tuning frame (optional, only when the flagTuning header bit is
+//	set): one more frame in the same envelope whose payload is the
+//	backend's canonical tuning string ("k=v,k=v", sorted knob names) in
+//	UTF-8 — the knob set the filters were built with. It is written only
+//	when the tuning differs from the backend's defaults, so default-tuned
+//	containers stay byte-identical to pre-tuning files; a restore parses
+//	it against the backend's schema and fails loudly on unknown knobs,
+//	out-of-bounds values or a non-canonical rendering.
 //	pending-keys frame (optional, only when the flagPendingKeys header
-//	bit is set): one more frame in the same envelope whose payload is
+//	bit is set): one more frame — after the tuning frame if both are
+//	present — whose payload is
 //	  count u64 | count × (keyLen u32 | key bytes)
 //	— keys no shard filter represents (Adds a restored static backend
 //	buffered as pending), re-buffered at restore so acked Adds survive
@@ -85,7 +94,15 @@ const (
 	// represent (Adds a restored static backend buffered as pending).
 	// Containers without the flag are byte-identical to pre-flag files.
 	flagPendingKeys
+	// flagTuning marks a container carrying a tuning frame between the
+	// shard frames and the pending-keys frame: the backend's canonical
+	// non-default knob string. Default-tuned containers never set it.
+	flagTuning
 )
+
+// maxTuningLen bounds the tuning frame's payload; canonical knob
+// strings are tens of bytes, so anything larger is hostile input.
+const maxTuningLen = 4096
 
 // castagnoli is the CRC32C polynomial table, the checksum of choice for
 // storage formats (hardware-accelerated on amd64/arm64).
@@ -115,6 +132,12 @@ type Meta struct {
 	// know it before the header goes out; Snapshot.WriteTo derives it
 	// from len(Pending) automatically.
 	HasPending bool
+	// Tuning is the backend's canonical knob string ("k=v,k=v", sorted
+	// names). Empty means "all defaults" and writes no tuning frame, so
+	// default-tuned containers are byte-identical to pre-tuning files;
+	// non-empty sets the flagTuning header bit and rides its own
+	// checksummed frame between the shard and pending frames.
+	Tuning string
 }
 
 // Frame is one shard's checkpoint: the filter's MarshalBinary payload
@@ -153,6 +176,8 @@ type Writer struct {
 	want        int
 	offsets     []uint64
 	closed      bool
+	wantTuning  bool // header promised a tuning frame
+	wroteTuning bool
 	wantPending bool // header promised a pending-keys frame
 	wrotePend   bool
 }
@@ -166,8 +191,12 @@ func NewWriter(w io.Writer, meta Meta, shardCount int) (*Writer, error) {
 	if meta.Kind != KindShardedSet && meta.Kind != KindFilterBlocks {
 		return nil, fmt.Errorf("snapshot: unknown container kind %d", meta.Kind)
 	}
+	if len(meta.Tuning) > maxTuningLen {
+		return nil, fmt.Errorf("snapshot: tuning string %d bytes long (max %d)", len(meta.Tuning), maxTuningLen)
+	}
 	sw := &Writer{w: w, want: shardCount, wantPending: meta.HasPending,
-		offsets: make([]uint64, 0, shardCount)}
+		wantTuning: meta.Tuning != "",
+		offsets:    make([]uint64, 0, shardCount)}
 
 	var head [headerSize]byte
 	binary.LittleEndian.PutUint32(head[0:4], magic)
@@ -187,6 +216,9 @@ func NewWriter(w io.Writer, meta Meta, shardCount int) (*Writer, error) {
 	}
 	if meta.HasPending {
 		flags |= flagPendingKeys
+	}
+	if meta.Tuning != "" {
+		flags |= flagTuning
 	}
 	head[5] = flags
 	head[6] = uint8(meta.K)
@@ -221,8 +253,30 @@ func (sw *Writer) WriteFrame(fr Frame) error {
 	return sw.writeFrame(fr)
 }
 
-// WritePending appends the pending-keys frame after the shard frames.
-// It must be called exactly once, and only when the header promised it
+// WriteTuning appends the tuning frame after the shard frames. It must
+// be called exactly once, and only when the header promised it
+// (Meta.Tuning non-empty), so the flag bit and the footer table stay in
+// agreement. The string must match what NewWriter saw.
+func (sw *Writer) WriteTuning(tuning string) error {
+	if !sw.wantTuning {
+		return errors.New("snapshot: tuning frame not declared in header")
+	}
+	if sw.wroteTuning {
+		return errors.New("snapshot: tuning frame already written")
+	}
+	if tuning == "" || len(tuning) > maxTuningLen {
+		return fmt.Errorf("snapshot: tuning frame payload %d bytes (want 1..%d)", len(tuning), maxTuningLen)
+	}
+	if len(sw.offsets) != sw.want {
+		return fmt.Errorf("snapshot: tuning frame before all %d shard frames", sw.want)
+	}
+	sw.wroteTuning = true
+	return sw.writeFrame(Frame{Payload: []byte(tuning)})
+}
+
+// WritePending appends the pending-keys frame after the shard frames
+// (and the tuning frame, when the header promised one). It must be
+// called exactly once, and only when the header promised it
 // (Meta.HasPending), so the flag bit and the footer table stay in
 // agreement.
 func (sw *Writer) WritePending(keys [][]byte) error {
@@ -232,7 +286,14 @@ func (sw *Writer) WritePending(keys [][]byte) error {
 	if sw.wrotePend {
 		return errors.New("snapshot: pending frame already written")
 	}
-	if len(sw.offsets) != sw.want {
+	want := sw.want
+	if sw.wantTuning {
+		if !sw.wroteTuning {
+			return errors.New("snapshot: pending frame before the tuning frame")
+		}
+		want++
+	}
+	if len(sw.offsets) != want {
 		return fmt.Errorf("snapshot: pending frame before all %d shard frames", sw.want)
 	}
 	sw.wrotePend = true
@@ -266,6 +327,12 @@ func (sw *Writer) Close() error {
 		return errors.New("snapshot: writer already closed")
 	}
 	wantFrames := sw.want
+	if sw.wantTuning {
+		wantFrames++
+		if !sw.wroteTuning {
+			return errors.New("snapshot: header promised a tuning frame that was never written")
+		}
+	}
 	if sw.wantPending {
 		wantFrames++
 		if !sw.wrotePend {
@@ -307,6 +374,11 @@ func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
 	}
 	for _, fr := range s.Frames {
 		if err := sw.WriteFrame(fr); err != nil {
+			return sw.Written(), err
+		}
+	}
+	if meta.Tuning != "" {
+		if err := sw.WriteTuning(meta.Tuning); err != nil {
 			return sw.Written(), err
 		}
 	}
@@ -377,11 +449,15 @@ func Unmarshal(data []byte) (*Snapshot, error) {
 	if shardCount == 0 || uint64(shardCount) > uint64(len(data))/frameHdrSize {
 		return nil, fmt.Errorf("snapshot: implausible shard count %d for %d bytes", shardCount, len(data))
 	}
-	// The pending-keys flag adds one frame (and one table entry) beyond
-	// the shard frames; everything below walks frameCount, while
-	// shardCount keeps meaning what the restore layer checks (power-of-
-	// two shard topology).
+	// The tuning and pending-keys flags each add one frame (and one
+	// table entry) beyond the shard frames; everything below walks
+	// frameCount, while shardCount keeps meaning what the restore layer
+	// checks (power-of-two shard topology).
+	hasTuning := flags&flagTuning != 0
 	frameCount := uint64(shardCount)
+	if hasTuning {
+		frameCount++
+	}
 	if s.Meta.HasPending {
 		frameCount++
 	}
@@ -436,14 +512,25 @@ func Unmarshal(data []byte) (*Snapshot, error) {
 	if prevEnd != indexOff64 {
 		return nil, errors.New("snapshot: trailing bytes between frames and footer")
 	}
+	extra := uint64(shardCount)
+	if hasTuning {
+		payload := s.Frames[extra].Payload
+		// An empty payload with the flag set can never come from a Writer
+		// (Meta.Tuning == "" writes no frame), so it is corruption.
+		if len(payload) == 0 || len(payload) > maxTuningLen {
+			return nil, fmt.Errorf("snapshot: tuning frame payload %d bytes (want 1..%d)", len(payload), maxTuningLen)
+		}
+		s.Meta.Tuning = string(payload)
+		extra++
+	}
 	if s.Meta.HasPending {
-		pending, err := decodePendingKeys(s.Frames[shardCount].Payload)
+		pending, err := decodePendingKeys(s.Frames[extra].Payload)
 		if err != nil {
 			return nil, err
 		}
 		s.Pending = pending
-		s.Frames = s.Frames[:shardCount]
 	}
+	s.Frames = s.Frames[:shardCount]
 	return s, nil
 }
 

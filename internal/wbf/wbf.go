@@ -49,6 +49,10 @@ type Config struct {
 	// CacheFraction is the fraction of (cost-descending) universe keys
 	// whose hash count is cached for query time. Default 0.05.
 	CacheFraction float64
+	// MaxK caps the per-key hash count the log-proportional rule may
+	// assign. Default (0) is BaseK+4, the rule's natural span; explicit
+	// values are clamped into [BaseK, 64] so the wire invariants hold.
+	MaxK int
 }
 
 // New builds a WBF over the positive keys, using the costs of the known
@@ -73,11 +77,25 @@ func New(positives [][]byte, negatives []WeightedKey, cfg Config) (*Filter, erro
 			cfg.BaseK = 1
 		}
 	}
-	// Clamp so maxK = BaseK+4 stays within the wire format's hash-count
-	// ceiling (tiny shards with generous minimum budgets would otherwise
-	// derive an absurd k that could not round-trip).
-	if cfg.BaseK > maxWireK-4 {
-		cfg.BaseK = maxWireK - 4
+	// Clamp so maxK stays within the wire format's hash-count ceiling
+	// (tiny shards with generous minimum budgets would otherwise derive
+	// an absurd k that could not round-trip).
+	maxK := cfg.MaxK
+	if maxK == 0 {
+		if cfg.BaseK > maxWireK-4 {
+			cfg.BaseK = maxWireK - 4
+		}
+		maxK = cfg.BaseK + 4
+	} else {
+		if cfg.BaseK > maxWireK {
+			cfg.BaseK = maxWireK
+		}
+		if maxK < cfg.BaseK {
+			maxK = cfg.BaseK
+		}
+		if maxK > maxWireK {
+			maxK = maxWireK
+		}
 	}
 	if cfg.CacheFraction == 0 {
 		cfg.CacheFraction = 0.05
@@ -87,7 +105,7 @@ func New(positives [][]byte, negatives []WeightedKey, cfg Config) (*Filter, erro
 		bits:   bitset.New(cfg.TotalBits),
 		baseK:  cfg.BaseK,
 		minK:   max(1, cfg.BaseK-2),
-		maxK:   cfg.BaseK + 4,
+		maxK:   maxK,
 		kCache: make(map[string]uint8),
 	}
 

@@ -78,6 +78,51 @@ func WithBackend(name string) ShardedOption {
 // — the valid inputs to WithBackend.
 func Backends() []string { return filtercore.Names() }
 
+// WithTuning applies backend tuning knobs, each argument a "k=v" or
+// "k=v,k=v" string validated against the selected backend's schema (see
+// the README's Tuning section for every backend's knob table). Knobs
+// left unset keep their defaults; unknown knobs, duplicates and
+// out-of-bounds values make NewSharded fail. The effective knob set is
+// durable: snapshots persist it and a restore rebuilds and reports it.
+// For the "habf" backend the knobs and the legacy WithK/WithCellBits
+// options configure the same fields — a set knob wins.
+func WithTuning(kv ...string) ShardedOption {
+	return func(c *shard.Config) {
+		for _, s := range kv {
+			if s == "" {
+				continue
+			}
+			if c.Tuning != "" {
+				c.Tuning += ","
+			}
+			c.Tuning += s
+		}
+	}
+}
+
+// Tuning returns the effective knob set in canonical form — every knob
+// of the backend's schema with its explicit or default value, sorted,
+// "k=v,k=v". Snapshots persist it (when non-default) and /v1/stats
+// reports it.
+func (s *Sharded) Tuning() string { return s.set.Tuning() }
+
+// ParseTuning validates a tuning string against a backend's knob schema
+// and returns its canonical full rendering — what Sharded.Tuning on a
+// set built with those knobs reports. Operational surfaces use it to
+// compare a requested tuning against a restored snapshot's without
+// building anything.
+func ParseTuning(backend, tuning string) (string, error) {
+	f, err := filtercore.ByName(backend)
+	if err != nil {
+		return "", fmt.Errorf("habf: %w", err)
+	}
+	t, err := f.ParseTuning(tuning)
+	if err != nil {
+		return "", fmt.Errorf("habf: %w", err)
+	}
+	return t.String(), nil
+}
+
 // NewSharded builds a sharded HABF over positives within totalBits of
 // memory, splitting the budget across shards in proportion to their key
 // share. Negatives are routed to the shard their colliding positives
