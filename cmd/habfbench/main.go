@@ -15,6 +15,7 @@
 //	habfbench -net -backend habf,bloom,xor        # compare backends on identical traffic
 //	habfbench -net -tune "bloom:strategy=seeded64,k=8;xor:width=9"  # add tuned-variant runs
 //	habfbench -net -addr host:8080                # drive a running habfserved
+//	habfbench -net -proto all                     # HTTP and the binary wire protocol
 //
 // Scale 1.0 runs 40 k Shalla keys and 100 k YCSB keys per side with the
 // paper's bits-per-key grid; larger scales approach the published sizes.
@@ -30,7 +31,10 @@
 // in-process self-test instance) under a workload distribution, report
 // throughput and latency percentiles, and optionally write the
 // machine-readable BENCH_serve.json that CI's regression gate compares
-// against the committed baseline.
+// against the committed baseline. -proto selects the wire format(s):
+// http (default), binary (the internal/wire length-prefixed protocol,
+// scenarios suffixed "/binary"), or all; remote binary runs need
+// -addr-binary pointing at habfserved's -listen-binary port.
 // Both serving modes take -backend: -serve benchmarks one filter family
 // per run, and -net accepts a comma-separated list so HABF, Bloom and
 // Xor are compared as serving backends under identical workloads
@@ -75,6 +79,8 @@ func main() {
 
 		netMode   = flag.Bool("net", false, "run the network load generator against habfserved")
 		addr      = flag.String("addr", "", "net: host:port of a running habfserved (empty: in-process self-test)")
+		addrBin   = flag.String("addr-binary", "", "net: host:port of a remote habfserved binary listener (-listen-binary)")
+		proto     = flag.String("proto", "http", "net: protocols to drive: http|binary|all")
 		clients   = flag.Int("clients", 8, "net: concurrent HTTP clients")
 		benchjson = flag.String("benchjson", "", "net: write machine-readable results to this JSON file")
 	)
@@ -94,6 +100,8 @@ func main() {
 		}
 		cfg := netConfig{
 			addr:      *addr,
+			addrBin:   *addrBin,
+			proto:     *proto,
 			backends:  *backend,
 			tune:      *tune,
 			keys:      netKeys,

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/base64"
 	"encoding/json"
 	"fmt"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/benchfmt"
 	"repro/internal/dataset"
 	"repro/internal/server"
+	"repro/internal/wire"
 	"repro/internal/workload"
 )
 
@@ -26,6 +28,8 @@ import (
 // throughput and latency percentiles.
 type netConfig struct {
 	addr      string // remote daemon base URL host:port; empty = in-process self-test
+	addrBin   string // remote daemon's -listen-binary host:port (binary protocol runs)
+	proto     string // wire formats to drive: http|binary|all ("" = http)
 	backends  string // comma-separated backend names for the self-test ("" = habf)
 	tune      string // tuning knobs: "k=v,k=v" or "backend:knobs;backend:knobs"
 	keys      int
@@ -52,6 +56,14 @@ func runNet(cfg netConfig, w io.Writer) error {
 	}
 	if cfg.tune != "" && cfg.addr != "" {
 		return fmt.Errorf("net: -tune configures the in-process self-test; a remote daemon's tuning is whatever it was started with (see habfserved -tune)")
+	}
+	switch cfg.proto {
+	case "", "http", "binary", "all":
+	default:
+		return fmt.Errorf("net: -proto %q: want http, binary or all", cfg.proto)
+	}
+	if cfg.addr != "" && cfg.protoHas("binary") && cfg.addrBin == "" {
+		return fmt.Errorf("net: remote binary runs need -addr-binary (the daemon's -listen-binary port)")
 	}
 	plainTune, tunedRuns, err := parseTunePlan(cfg.tune)
 	if err != nil {
@@ -98,14 +110,25 @@ func runNet(cfg netConfig, w io.Writer) error {
 		}
 		g.noteBackends = backend
 		fmt.Fprintf(w, "target: %s (remote, %s, backend %s)\n\n", g.base, name, backend)
-		if err := g.scenario("net/contains", g.containsLoop, false); err != nil {
-			return err
+		if cfg.protoHas("http") {
+			if err := g.scenario("net/contains", g.containsLoop, false); err != nil {
+				return err
+			}
+			if err := g.scenario("net/contains_batch", g.batchLoop, false); err != nil {
+				return err
+			}
+			if cfg.writers > 0 {
+				if err := g.scenario("net/contains+writers", g.containsLoop, true); err != nil {
+					return err
+				}
+			}
 		}
-		if err := g.scenario("net/contains_batch", g.batchLoop, false); err != nil {
-			return err
-		}
-		if cfg.writers > 0 {
-			if err := g.scenario("net/contains+writers", g.containsLoop, true); err != nil {
+		if cfg.protoHas("binary") {
+			g.binAddr = cfg.addrBin
+			if err := g.scenario("net/contains/binary", g.binaryContainsLoop, false); err != nil {
+				return err
+			}
+			if err := g.scenario("net/contains_batch/binary", g.binaryBatchLoop, false); err != nil {
 				return err
 			}
 		}
@@ -156,17 +179,29 @@ func runNet(cfg netConfig, w io.Writer) error {
 			}
 			return g.scenario(name+suffix, loop, withWriters)
 		}
-		if err := run("net/contains/uncoalesced", server.CoalesceConfig{Disabled: true}, g.containsLoop, false); err != nil {
-			return err
+		if cfg.protoHas("http") {
+			if err := run("net/contains/uncoalesced", server.CoalesceConfig{Disabled: true}, g.containsLoop, false); err != nil {
+				return err
+			}
+			if err := run("net/contains/coalesced", server.CoalesceConfig{}, g.containsLoop, false); err != nil {
+				return err
+			}
+			if err := run("net/contains_batch", server.CoalesceConfig{Disabled: true}, g.batchLoop, false); err != nil {
+				return err
+			}
+			if cfg.writers > 0 {
+				if err := run("net/contains/coalesced+writers", server.CoalesceConfig{}, g.containsLoop, true); err != nil {
+					return err
+				}
+			}
 		}
-		if err := run("net/contains/coalesced", server.CoalesceConfig{}, g.containsLoop, false); err != nil {
-			return err
-		}
-		if err := run("net/contains_batch", server.CoalesceConfig{Disabled: true}, g.batchLoop, false); err != nil {
-			return err
-		}
-		if cfg.writers > 0 {
-			if err := run("net/contains/coalesced+writers", server.CoalesceConfig{}, g.containsLoop, true); err != nil {
+		if cfg.protoHas("binary") {
+			// Single-key through the coalescer (the serving default) and
+			// batch frames direct, mirroring the HTTP scenario pair.
+			if err := run("net/contains/binary", server.CoalesceConfig{}, g.binaryContainsLoop, false); err != nil {
+				return err
+			}
+			if err := run("net/contains_batch/binary", server.CoalesceConfig{Disabled: true}, g.binaryBatchLoop, false); err != nil {
 				return err
 			}
 		}
@@ -195,7 +230,12 @@ func runNet(cfg netConfig, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		err = g.scenario("net/contains/coalesced"+suffix, g.containsLoop, false)
+		if cfg.protoHas("http") {
+			err = g.scenario("net/contains/coalesced"+suffix, g.containsLoop, false)
+		}
+		if err == nil && cfg.protoHas("binary") {
+			err = g.scenario("net/contains/binary"+suffix, g.binaryContainsLoop, false)
+		}
 		stop()
 		if err != nil {
 			return err
@@ -249,6 +289,19 @@ func parseTunePlan(s string) (plain string, runs []tunedRun, err error) {
 	return "", runs, nil
 }
 
+// protoHas reports whether the -proto flag selects wire format p.
+func (cfg netConfig) protoHas(p string) bool {
+	switch cfg.proto {
+	case "", "http":
+		return p == "http"
+	case "binary":
+		return p == "binary"
+	case "all":
+		return true
+	}
+	return false
+}
+
 // backendList normalizes the -backend flag for the self-test loop.
 func (cfg netConfig) backendList() string {
 	if cfg.backends == "" {
@@ -263,6 +316,7 @@ type netGen struct {
 	streams   [][][]byte
 	transport *http.Transport
 	base      string
+	binAddr   string // binary-protocol listener address ("" when not serving it)
 	out       io.Writer
 	results   []benchfmt.Result
 	writersWG sync.WaitGroup
@@ -301,8 +355,9 @@ func (g *netGen) serverIdentity() (name, backend string, err error) {
 // recording one latency sample per HTTP request into lat.
 type loopFunc func(client int, probes [][]byte, n int, lat *[]int64) error
 
-// startServer serves filter on a loopback listener with the given
-// coalescing config; the returned func tears everything down.
+// startServer serves filter on loopback listeners (HTTP always, plus
+// the binary protocol when -proto asks for it) with the given coalescing
+// config; the returned func tears everything down.
 func (g *netGen) startServer(filter *habf.Sharded, coalesce server.CoalesceConfig) (func(), error) {
 	srv, err := server.New(server.Config{Filter: filter, Coalesce: coalesce})
 	if err != nil {
@@ -316,15 +371,95 @@ func (g *netGen) startServer(filter *habf.Sharded, coalesce server.CoalesceConfi
 	hs := &http.Server{Handler: srv.Handler()}
 	go hs.Serve(l)
 	g.base = "http://" + l.Addr().String()
+
+	var bs *server.BinaryServer
+	g.binAddr = ""
+	if g.cfg.protoHas("binary") {
+		bl, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			hs.Close()
+			srv.Close()
+			return nil, err
+		}
+		bs = server.NewBinaryServer(srv)
+		go bs.Serve(bl)
+		g.binAddr = bl.Addr().String()
+	}
+
 	g.lastBackend = "" // never let a previous server's identity leak
 	if _, backend, err := g.serverIdentity(); err == nil {
 		g.lastBackend = backend
 	}
 	return func() {
 		hs.Close()
+		if bs != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			bs.Shutdown(ctx)
+			cancel()
+		}
 		srv.Close()
 		g.transport.CloseIdleConnections()
 	}, nil
+}
+
+// binaryContainsLoop issues single-key queries over the binary wire
+// protocol, one synchronous connection per client.
+func (g *netGen) binaryContainsLoop(client int, probes [][]byte, n int, lat *[]int64) error {
+	c, err := wire.Dial(g.binAddr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	mask := len(probes) - 1
+	for i := 0; i < n; i++ {
+		idx := i & mask
+		start := time.Now()
+		present, err := c.Contains(probes[idx])
+		if err != nil {
+			return err
+		}
+		*lat = append(*lat, time.Since(start).Nanoseconds())
+		if idx%2 == 1 && !present {
+			return fmt.Errorf("false negative over binary protocol for member probe %d", idx)
+		}
+	}
+	return nil
+}
+
+// binaryBatchLoop issues OpContainsBatch frames of the configured batch
+// size; like batchLoop, one latency sample covers a whole batch while
+// ops stay per-key.
+func (g *netGen) binaryBatchLoop(client int, probes [][]byte, n int, lat *[]int64) error {
+	c, err := wire.Dial(g.binAddr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	mask := len(probes) - 1
+	batch := make([][]byte, g.cfg.batch)
+	for done := 0; done < n; {
+		size := g.cfg.batch
+		if n-done < size {
+			size = n - done
+		}
+		lo := done & mask
+		for j := 0; j < size; j++ {
+			batch[j] = probes[(lo+j)&mask]
+		}
+		start := time.Now()
+		present, err := c.ContainsBatch(batch[:size])
+		if err != nil {
+			return err
+		}
+		*lat = append(*lat, time.Since(start).Nanoseconds())
+		for j, ok := range present {
+			if ((lo+j)&mask)%2 == 1 && !ok {
+				return fmt.Errorf("false negative over binary protocol for member probe %d", (lo+j)&mask)
+			}
+		}
+		done += size
+	}
+	return nil
 }
 
 // scenario fans n total keys across the configured clients through

@@ -5,6 +5,12 @@
 // inserts (/v1/add), operational stats (/v1/stats), crash-safe
 // checkpoints (/v1/snapshot) and Prometheus metrics (/metrics).
 //
+// With -listen-binary it additionally serves the internal/wire binary
+// protocol on a raw TCP listener: length-prefixed frames over one
+// pipelined connection, dispatching into the same filter, coalescer and
+// metrics as HTTP but without per-request HTTP framing cost. Both
+// listeners drain gracefully on SIGINT/SIGTERM.
+//
 // Usage:
 //
 //	habfserved -restore filter.snap [-addr :8080] [-snapshot filter.snap -snapshot-on-exit]
@@ -38,6 +44,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -53,6 +60,7 @@ import (
 func main() {
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
+		addrBin  = flag.String("listen-binary", "", "also serve the internal/wire binary protocol on this TCP address (e.g. :8081)")
 		restore  = flag.String("restore", "", "restore the filter from this snapshot at startup")
 		keys     = flag.Int("keys", 0, "build a synthetic filter with this many keys per side (when not restoring)")
 		backend  = flag.String("backend", "", "filter backend: "+strings.Join(habf.Backends(), "|")+" (default habf; restores auto-detect and must match when set)")
@@ -72,7 +80,7 @@ func main() {
 	)
 	flag.Parse()
 	if err := run(config{
-		addr: *addr, restore: *restore, keys: *keys, backend: *backend, tune: *tune, shards: *shards,
+		addr: *addr, addrBin: *addrBin, restore: *restore, keys: *keys, backend: *backend, tune: *tune, shards: *shards,
 		seed: *seed, bits: *bits, snapPath: *snapPath, snapExit: *snapExit,
 		drainTimeout: *drainTimeout,
 		coalesce: server.CoalesceConfig{
@@ -90,6 +98,7 @@ func main() {
 
 type config struct {
 	addr         string
+	addrBin      string
 	restore      string
 	keys         int
 	backend      string
@@ -177,7 +186,9 @@ func run(cfg config) error {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	errc := make(chan error, 1)
+	// errc carries the first serving failure; sized for both listeners so
+	// neither send blocks after a signal wins the select.
+	errc := make(chan error, 2)
 	go func() {
 		fmt.Fprintf(os.Stderr, "habfserved: listening on %s\n", cfg.addr)
 		if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
@@ -186,6 +197,19 @@ func run(cfg config) error {
 		}
 		errc <- nil
 	}()
+
+	var bs *server.BinaryServer
+	if cfg.addrBin != "" {
+		ln, err := net.Listen("tcp", cfg.addrBin)
+		if err != nil {
+			return fmt.Errorf("listen-binary: %w", err)
+		}
+		bs = server.NewBinaryServer(srv)
+		go func() {
+			fmt.Fprintf(os.Stderr, "habfserved: binary protocol on %s\n", ln.Addr())
+			errc <- bs.Serve(ln)
+		}()
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -197,12 +221,17 @@ func run(cfg config) error {
 		fmt.Fprintf(os.Stderr, "habfserved: %v — draining\n", sig)
 	}
 
-	// Graceful shutdown: stop accepting, drain in-flight requests, then
-	// drain the coalescer and (optionally) checkpoint.
+	// Graceful shutdown: stop accepting on both listeners, drain in-flight
+	// requests, then drain the coalescer and (optionally) checkpoint.
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "habfserved: shutdown: %v\n", err)
+	}
+	if bs != nil {
+		if err := bs.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "habfserved: binary shutdown: %v\n", err)
+		}
 	}
 	srv.Close()
 	filter.WaitRebuilds()
@@ -213,5 +242,17 @@ func run(cfg config) error {
 		}
 		fmt.Fprintf(os.Stderr, "habfserved: final snapshot %s in %v\n", path, took.Round(time.Millisecond))
 	}
-	return <-errc
+	// Both serving goroutines report on errc after their shutdown; the
+	// first failure (if any) is the exit status.
+	listeners := 1
+	if bs != nil {
+		listeners = 2
+	}
+	var ret error
+	for i := 0; i < listeners; i++ {
+		if err := <-errc; err != nil && ret == nil {
+			ret = err
+		}
+	}
+	return ret
 }

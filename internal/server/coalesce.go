@@ -276,6 +276,12 @@ func (c *Coalescer) dispatch() {
 		results := c.b.ContainsBatch(keys)
 		for i, r := range batch {
 			r.res <- results[i]
+			// Release the key and request references now: the scratch
+			// slices are reused via [:0], so slots left behind by a large
+			// batch would otherwise pin every past caller's key bytes
+			// until a later batch happens to grow over them.
+			keys[i] = nil
+			batch[i] = nil
 		}
 		c.keys.Add(uint64(len(batch)))
 		c.batches.Add(1)

@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -132,6 +133,36 @@ func TestCoalescerCloseDuringTraffic(t *testing.T) {
 	co.Close() // idempotent
 }
 
+// TestCoalescerReleasesKeyReferences pins the scratch-release fix: a
+// dispatched batch's key references must become collectible as soon as
+// the batch is answered. The dispatcher's keys/batch scratch is reused
+// via [:0], so before the fix the slots of the most recent batch kept
+// pointing at callers' key bytes indefinitely — this test fails there
+// with exactly one key (the last one) never freed.
+func TestCoalescerReleasesKeyReferences(t *testing.T) {
+	filter, _ := newTestFilter(t, 300)
+	co := NewCoalescer(filter, CoalesceConfig{Dispatchers: 1})
+	defer co.Close()
+
+	const n = 32
+	var freed atomic.Int64
+	for i := 0; i < n; i++ {
+		key := make([]byte, 64)
+		key[0] = byte(i)
+		runtime.SetFinalizer(&key[0], func(*byte) { freed.Add(1) })
+		co.Contains(key)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for freed.Load() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d dispatched keys were released; the coalescer scratch still pins the rest", freed.Load(), n)
+		}
+		runtime.GC()
+		time.Sleep(time.Millisecond)
+	}
+}
+
 // BenchmarkCoalesce compares the uncoalesced per-request path against
 // the coalesced one at ≥8 concurrent clients, in-process. On a
 // single-core host the channel handoff dominates and direct wins; the
@@ -155,6 +186,7 @@ func BenchmarkCoalesce(b *testing.B) {
 	mask := len(probes) - 1
 
 	b.Run("direct/c8", func(b *testing.B) {
+		b.ReportAllocs()
 		b.SetParallelism(8)
 		var ctr atomic.Int64
 		b.RunParallel(func(pb *testing.PB) {
@@ -165,6 +197,7 @@ func BenchmarkCoalesce(b *testing.B) {
 		})
 	})
 	b.Run("coalesced/c8", func(b *testing.B) {
+		b.ReportAllocs()
 		co := NewCoalescer(filter, CoalesceConfig{})
 		defer co.Close()
 		b.SetParallelism(8)
@@ -181,6 +214,7 @@ func BenchmarkCoalesce(b *testing.B) {
 	})
 	for _, batch := range []int{64, 256} {
 		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) {
+			b.ReportAllocs()
 			for lo := 0; lo < b.N; lo += batch {
 				n := batch
 				if lo+n > b.N {

@@ -18,24 +18,39 @@
 // contains requests are answered with a one-byte body, "1" or "0". The
 // raw form exists for load generators and latency-sensitive callers that
 // want to skip JSON entirely.
+//
+// Beside HTTP, BinaryServer serves the internal/wire binary protocol on
+// a raw TCP listener through the same coalescer and filter — the path
+// for single-key callers that can't afford HTTP request framing at all.
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"mime"
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	habf "repro"
 	"repro/internal/metrics"
+	"repro/internal/wire"
 )
 
 // maxBodyBytes bounds request bodies; a membership key or a batch of
-// them is small, so anything larger is a client error, not traffic.
-const maxBodyBytes = 8 << 20
+// them is small, so anything larger is a client error, not traffic. It
+// matches the binary protocol's per-key ceiling so both request paths
+// reject at the same size.
+const maxBodyBytes = wire.MaxKeyLen
+
+// errBodyTooLarge rejects oversized request bodies. It must be a
+// rejection, never a truncation: a key cut at the body limit would be
+// silently queried — or worse, Add-acked — as a different key.
+var errBodyTooLarge = errors.New("request body exceeds " + strconv.Itoa(maxBodyBytes) + " bytes")
 
 // Config assembles a Server.
 type Config struct {
@@ -72,6 +87,17 @@ type Server struct {
 	hContains      *metrics.Histogram
 	hBatchSize     *metrics.Histogram
 	hCoalesceSize  *metrics.Histogram
+
+	// Binary-protocol instrumentation (see BinaryServer). Registered
+	// unconditionally so scrapes see the series at zero when no binary
+	// listener is configured.
+	mBinContains *metrics.Counter
+	mBinBatch    *metrics.Counter
+	mBinAdd      *metrics.Counter
+	mBinPing     *metrics.Counter
+	hBinContains *metrics.Histogram
+	hBinBatch    *metrics.Histogram
+	binConns     atomic.Int64
 }
 
 // New builds a Server over cfg.Filter and starts its coalescer.
@@ -99,6 +125,17 @@ func New(cfg Config) (*Server, error) {
 	s.hCoalesceSize = s.reg.Histogram("habfserved_coalesce_batch_size_keys",
 		"Micro-batch sizes formed by the request coalescer.", metrics.SizeBuckets(1<<12))
 	s.co.onBatch = func(n int) { s.hCoalesceSize.Observe(float64(n)) }
+
+	s.mBinContains = s.reg.Counter(`habfserved_requests_total{endpoint="binary_contains"}`, "Requests by endpoint.")
+	s.mBinBatch = s.reg.Counter(`habfserved_requests_total{endpoint="binary_contains_batch"}`, "Requests by endpoint.")
+	s.mBinAdd = s.reg.Counter(`habfserved_requests_total{endpoint="binary_add"}`, "Requests by endpoint.")
+	s.mBinPing = s.reg.Counter(`habfserved_requests_total{endpoint="binary_ping"}`, "Requests by endpoint.")
+	s.hBinContains = s.reg.Histogram("habfserved_binary_contains_duration_seconds",
+		"Handler latency of binary-protocol contains frames (decode to encode).", metrics.DurationBuckets())
+	s.hBinBatch = s.reg.Histogram("habfserved_binary_batch_duration_seconds",
+		"Handler latency of binary-protocol contains_batch frames.", metrics.DurationBuckets())
+	s.reg.Gauge("habfserved_binary_connections", "Open binary-protocol connections.",
+		func() float64 { return float64(s.binConns.Load()) })
 
 	s.reg.Gauge(fmt.Sprintf(`habfserved_backend_info{backend=%q,filter=%q}`, s.filter.Backend(), s.filter.Name()),
 		"Constant 1; labels identify the serving filter backend.",
@@ -167,26 +204,77 @@ func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...an
 	http.Error(w, fmt.Sprintf(format, args...), code)
 }
 
+// failErr maps a request-decode error to its status: 413 for oversized
+// bodies, 400 for everything else malformed.
+func (s *Server) failErr(w http.ResponseWriter, endpoint string, err error) {
+	code := http.StatusBadRequest
+	if errors.Is(err, errBodyTooLarge) {
+		code = http.StatusRequestEntityTooLarge
+	}
+	s.fail(w, code, "%s: %v", endpoint, err)
+}
+
+// readBody reads a request body of at most maxBodyBytes. It reads one
+// byte past the limit so an oversized body is detected and rejected
+// rather than silently truncated to a prefix.
+func readBody(r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(body) > maxBodyBytes {
+		return nil, errBodyTooLarge
+	}
+	return body, nil
+}
+
+// rawRequest reports whether the request declares a raw octet-stream
+// body. The Content-Type is parsed as a media type, so parameterized
+// forms ("application/octet-stream; charset=binary") select the raw
+// path too; a present-but-unparseable header is an error, not a silent
+// fall-through to JSON.
+func rawRequest(r *http.Request) (bool, error) {
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		return false, nil
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	if err != nil {
+		return false, fmt.Errorf("bad Content-Type %q: %v", ct, err)
+	}
+	return mt == "application/octet-stream", nil
+}
+
 // readKey extracts the key from a contains/add request: raw bytes for
-// application/octet-stream, else JSON {"key": base64}.
+// application/octet-stream, else JSON {"key": base64}. Empty keys are
+// rejected here so /v1/contains and /v1/add agree — an empty-bodied
+// contains must not get a confident answer for the empty key.
 func readKey(r *http.Request) ([]byte, bool, error) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	raw, err := rawRequest(r)
 	if err != nil {
 		return nil, false, err
 	}
-	if r.Header.Get("Content-Type") == "application/octet-stream" {
-		return body, true, nil
+	body, err := readBody(r)
+	if err != nil {
+		return nil, false, err
 	}
-	var req struct {
-		Key []byte `json:"key"`
+	key := body
+	if !raw {
+		var req struct {
+			Key []byte `json:"key"`
+		}
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, false, fmt.Errorf("bad JSON body: %w", err)
+		}
+		if req.Key == nil {
+			return nil, false, fmt.Errorf(`missing "key"`)
+		}
+		key = req.Key
 	}
-	if err := json.Unmarshal(body, &req); err != nil {
-		return nil, false, fmt.Errorf("bad JSON body: %w", err)
+	if len(key) == 0 {
+		return nil, raw, errors.New("empty key")
 	}
-	if req.Key == nil {
-		return nil, false, fmt.Errorf(`missing "key"`)
-	}
-	return req.Key, false, nil
+	return key, raw, nil
 }
 
 func (s *Server) handleContains(w http.ResponseWriter, r *http.Request) {
@@ -197,7 +285,7 @@ func (s *Server) handleContains(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	key, raw, err := readKey(r)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, "contains: %v", err)
+		s.failErr(w, "contains", err)
 		return
 	}
 	present := s.co.Contains(key)
@@ -209,7 +297,7 @@ func (s *Server) handleContains(w http.ResponseWriter, r *http.Request) {
 			io.WriteString(w, "0")
 		}
 	} else {
-		writeJSON(w, map[string]bool{"present": present})
+		s.writeJSON(w, map[string]bool{"present": present})
 	}
 	s.hContains.ObserveDuration(time.Since(start))
 }
@@ -219,10 +307,15 @@ func (s *Server) handleContainsBatch(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	body, err := readBody(r)
+	if err != nil {
+		s.failErr(w, "contains_batch", err)
+		return
+	}
 	var req struct {
 		Keys [][]byte `json:"keys"`
 	}
-	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&req); err != nil {
+	if err := json.Unmarshal(body, &req); err != nil {
 		s.fail(w, http.StatusBadRequest, "contains_batch: bad JSON body: %v", err)
 		return
 	}
@@ -230,11 +323,17 @@ func (s *Server) handleContainsBatch(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, `contains_batch: missing "keys"`)
 		return
 	}
+	for i, k := range req.Keys {
+		if len(k) == 0 {
+			s.fail(w, http.StatusBadRequest, "contains_batch: empty key at index %d", i)
+			return
+		}
+	}
 	present := s.filter.ContainsBatch(req.Keys)
 	s.mContainsBatch.Inc()
 	s.mBatchKeys.Add(uint64(len(req.Keys)))
 	s.hBatchSize.Observe(float64(len(req.Keys)))
-	writeJSON(w, map[string][]bool{"present": present})
+	s.writeJSON(w, map[string][]bool{"present": present})
 }
 
 func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
@@ -244,11 +343,7 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 	}
 	key, raw, err := readKey(r)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, "add: %v", err)
-		return
-	}
-	if len(key) == 0 {
-		s.fail(w, http.StatusBadRequest, "add: empty key")
+		s.failErr(w, "add", err)
 		return
 	}
 	s.filter.Add(key)
@@ -257,7 +352,7 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
-	writeJSON(w, map[string]bool{"ok": true})
+	s.writeJSON(w, map[string]bool{"ok": true})
 }
 
 // statsResponse is the /v1/stats document.
@@ -282,7 +377,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := s.filter.Stats()
-	writeJSON(w, statsResponse{
+	s.writeJSON(w, statsResponse{
 		Name:     s.filter.Name(),
 		Backend:  s.filter.Backend(),
 		Tuning:   s.filter.Tuning(),
@@ -307,7 +402,12 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		Path string `json:"path"`
 	}
 	if r.ContentLength != 0 {
-		if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		body, err := readBody(r)
+		if err != nil {
+			s.failErr(w, "snapshot", err)
+			return
+		}
+		if err := json.Unmarshal(body, &req); err != nil {
 			s.fail(w, http.StatusBadRequest, "snapshot: bad JSON body: %v", err)
 			return
 		}
@@ -322,7 +422,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mSnapshots.Inc()
-	writeJSON(w, map[string]any{
+	s.writeJSON(w, map[string]any{
 		"path": path,
 		"ms":   float64(took.Microseconds()) / 1e3,
 	})
@@ -337,13 +437,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.reg.WritePrometheus(w)
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
 	b, err := json.Marshal(v)
 	if err != nil {
-		http.Error(w, "encode: "+err.Error(), http.StatusInternalServerError)
+		// An encode failure is a served error like any other 5xx and must
+		// show up in the error counter, not vanish from the metrics.
+		s.fail(w, http.StatusInternalServerError, "encode: %v", err)
 		return
 	}
+	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Length", strconv.Itoa(len(b)))
 	w.Write(b)
 }

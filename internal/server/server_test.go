@@ -378,6 +378,142 @@ func TestRequestErrors(t *testing.T) {
 	}
 }
 
+// TestOversizedBodyRejected pins the truncation bugfix: a raw key (or
+// batch/snapshot body) over the body cap must be rejected with 413 —
+// never cut at the limit and then queried or Add-acked as the
+// truncated prefix, which would be a confident answer for the wrong
+// key.
+func TestOversizedBodyRejected(t *testing.T) {
+	filter, _ := newTestFilter(t, 300)
+	srv, hs := newTestServer(t, filter, Config{})
+
+	oversized := bytes.Repeat([]byte{'K'}, maxBodyBytes+1)
+
+	for _, ep := range []string{"/v1/contains", "/v1/add"} {
+		resp, err := http.Post(hs.URL+ep, "application/octet-stream", bytes.NewReader(oversized))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("%s oversized raw key: HTTP %d, want 413", ep, resp.StatusCode)
+		}
+	}
+	// The old truncating reader would have inserted the first
+	// maxBodyBytes bytes as a key; a rejected Add must leave the filter
+	// untouched.
+	if st := filter.Stats(); st.Added != 0 || st.Keys != 300 {
+		t.Fatalf("rejected oversized Add still changed the filter: %+v — the key was silently cut and inserted", st)
+	}
+
+	bigBatch, err := json.Marshal(map[string]any{"keys": []string{base64.StdEncoding.EncodeToString(oversized)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(hs.URL+"/v1/contains_batch", "application/json", bytes.NewReader(bigBatch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized batch body: HTTP %d, want 413", resp.StatusCode)
+	}
+
+	bigSnap := append([]byte(`{"path": "`), bytes.Repeat([]byte{'p'}, maxBodyBytes)...)
+	bigSnap = append(bigSnap, `"}`...)
+	resp, err = http.Post(hs.URL+"/v1/snapshot", "application/json", bytes.NewReader(bigSnap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized snapshot body: HTTP %d, want 413", resp.StatusCode)
+	}
+
+	if srv.Coalescer().Stats().Keys+srv.Coalescer().Stats().Direct != 0 {
+		t.Fatal("an oversized request reached the filter")
+	}
+}
+
+// TestContentTypeMediaTypeParsing pins the octet-stream detection
+// bugfix: media-type parameters must still select the raw path, and a
+// present-but-malformed Content-Type is a 400, not a silent JSON
+// fallback that misparses a raw key.
+func TestContentTypeMediaTypeParsing(t *testing.T) {
+	filter, data := newTestFilter(t, 500)
+	_, hs := newTestServer(t, filter, Config{})
+	member := data.Positives[0]
+
+	for _, ct := range []string{
+		"application/octet-stream",
+		"application/octet-stream; charset=binary",
+		"application/octet-stream;charset=binary",
+		"APPLICATION/OCTET-STREAM",
+	} {
+		resp, err := http.Post(hs.URL+"/v1/contains", ct, bytes.NewReader(member))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK || string(body) != "1" {
+			t.Fatalf("Content-Type %q: HTTP %d body %q, want 200 %q", ct, resp.StatusCode, body, "1")
+		}
+	}
+
+	for _, ct := range []string{
+		"application/octet-stream; charset",
+		"application/",
+		"bogus; ;",
+	} {
+		resp, err := http.Post(hs.URL+"/v1/contains", ct, bytes.NewReader(member))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("malformed Content-Type %q: HTTP %d, want 400", ct, resp.StatusCode)
+		}
+	}
+}
+
+// TestEmptyKeyRejected pins the contains/add consistency bugfix: an
+// empty key gets 400 from both endpoints and both body forms — an
+// empty-bodied contains must not get a membership answer for the empty
+// key.
+func TestEmptyKeyRejected(t *testing.T) {
+	filter, _ := newTestFilter(t, 300)
+	srv, hs := newTestServer(t, filter, Config{})
+
+	for _, ep := range []string{"/v1/contains", "/v1/add"} {
+		resp, err := http.Post(hs.URL+ep, "application/octet-stream", bytes.NewReader(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s empty raw body: HTTP %d, want 400", ep, resp.StatusCode)
+		}
+		if resp, _ := postJSON(t, hs.URL+ep, map[string]any{"key": ""}); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s empty JSON key: HTTP %d, want 400", ep, resp.StatusCode)
+		}
+	}
+	if resp, _ := postJSON(t, hs.URL+"/v1/contains_batch", map[string]any{"keys": []string{""}}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("batch with empty key: HTTP %d, want 400", resp.StatusCode)
+	}
+	if st := srv.Coalescer().Stats(); st.Keys+st.Direct != 0 {
+		t.Fatal("an empty-key request reached the filter")
+	}
+}
+
 // TestConcurrentContainsAndAdd hammers the single-key read and write
 // endpoints from many goroutines at once — the -race test of the
 // serving layer's no-external-locking claim, end to end through HTTP
