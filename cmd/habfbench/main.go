@@ -79,9 +79,10 @@ func main() {
 
 		netMode   = flag.Bool("net", false, "run the network load generator against habfserved")
 		addr      = flag.String("addr", "", "net: host:port of a running habfserved (empty: in-process self-test)")
-		addrBin   = flag.String("addr-binary", "", "net: host:port of a remote habfserved binary listener (-listen-binary)")
+		addrBin   = flag.String("addr-binary", "", "net: host:port of a remote habfserved binary listener (-listen-binary); comma-separate several to route across them")
 		proto     = flag.String("proto", "http", "net: protocols to drive: http|binary|all")
 		clients   = flag.Int("clients", 8, "net: concurrent HTTP clients")
+		replicas  = flag.Int("replicas", 0, "net self-test: spawn a primary plus this-many-minus-one snapshot-shipped followers and add routed batch scenarios (needs binary proto)")
 		benchjson = flag.String("benchjson", "", "net: write machine-readable results to this JSON file")
 	)
 	flag.Parse()
@@ -112,6 +113,7 @@ func main() {
 			shards:    *shards,
 			dist:      *dist,
 			seed:      *seed,
+			replicas:  *replicas,
 			benchjson: *benchjson,
 		}
 		if flagWasSet("writers") {

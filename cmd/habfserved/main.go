@@ -16,11 +16,22 @@
 //	habfserved -restore filter.snap [-addr :8080] [-snapshot filter.snap -snapshot-on-exit]
 //	habfserved -keys 100000 [-shards 8] [-seed 1]       # synthetic filter, for demos/load tests
 //	habfserved -keys 100000 -backend xor                # serve a baseline filter family (bloom|xor|wbf|phbf)
+//	habfserved -follow http://primary:8080              # replication follower: pull, serve, resync
 //
-// The filter comes from one of two sources: -restore loads a snapshot
-// produced by habf.SaveFile (zero-copy, query-ready in milliseconds), or
-// a synthetic -keys filter is built at startup from the deterministic
-// YCSB-style key generator (the same keys `habfbench -net` probes with).
+// The filter comes from one of three sources: -restore loads a snapshot
+// produced by habf.SaveFile (zero-copy, query-ready in milliseconds), a
+// synthetic -keys filter is built at startup from the deterministic
+// YCSB-style key generator (the same keys `habfbench -net` probes with),
+// or -follow bootstraps from a running primary's GET /v1/snapshot.
+//
+// A -follow daemon is a read-only replica: it restores the primary's
+// snapshot, serves reads over both HTTP and the binary protocol, polls
+// the primary's mutation epoch (GET /v1/epoch, cadence -follow-poll) and
+// re-syncs — with exponential backoff and jitter — whenever it advances.
+// Writes are rejected with a 307 redirect to the primary. If the primary
+// dies the follower keeps answering from its last restored snapshot and
+// keeps retrying until the primary returns. Replication state is
+// exported at /metrics (habfserved_replication_*) and in /v1/stats.
 //
 // -backend selects the filter family (habf, bloom, xor, ...) a synthetic
 // filter is built with; restores auto-detect the family from the
@@ -49,11 +60,13 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	habf "repro"
 	"repro/internal/dataset"
+	"repro/internal/replica"
 	"repro/internal/server"
 )
 
@@ -71,6 +84,9 @@ func main() {
 		snapPath = flag.String("snapshot", "", "default target for /v1/snapshot and -snapshot-on-exit")
 		snapExit = flag.Bool("snapshot-on-exit", false, "write a final snapshot to -snapshot during graceful shutdown")
 
+		follow     = flag.String("follow", "", "run as a read-only follower of this primary (base URL or host:port); exclusive with -restore/-keys")
+		followPoll = flag.Duration("follow-poll", time.Second, "how often a follower polls the primary's epoch")
+
 		coalesceOff  = flag.Bool("no-coalesce", false, "disable request coalescing (direct per-key queries)")
 		maxBatch     = flag.Int("coalesce-batch", 256, "largest coalesced micro-batch")
 		maxWait      = flag.Duration("coalesce-wait", 0, "how long a dispatcher lingers for stragglers (0: drain-only)")
@@ -82,6 +98,7 @@ func main() {
 	if err := run(config{
 		addr: *addr, addrBin: *addrBin, restore: *restore, keys: *keys, backend: *backend, tune: *tune, shards: *shards,
 		seed: *seed, bits: *bits, snapPath: *snapPath, snapExit: *snapExit,
+		follow: *follow, followPoll: *followPoll,
 		drainTimeout: *drainTimeout,
 		coalesce: server.CoalesceConfig{
 			MaxBatch:    *maxBatch,
@@ -108,6 +125,8 @@ type config struct {
 	bits         float64
 	snapPath     string
 	snapExit     bool
+	follow       string
+	followPoll   time.Duration
 	drainTimeout time.Duration
 	coalesce     server.CoalesceConfig
 }
@@ -166,18 +185,106 @@ func buildFilter(cfg config) (*habf.Sharded, error) {
 	return f, nil
 }
 
+// bootstrapFollower builds a replication follower against cfg.follow,
+// blocks (with backoff) until the first snapshot pull succeeds, and
+// returns the follower plus the restored filter. Swaps after the
+// server exists go through srvp.
+func bootstrapFollower(ctx context.Context, cfg config, srvp *atomic.Pointer[server.Server]) (*replica.Follower, *habf.Sharded, error) {
+	// Until the server exists, OnSwap parks the restored filter here;
+	// afterwards every resync is an atomic SwapFilter on the server.
+	var boot atomic.Pointer[habf.Sharded]
+	fol, err := replica.New(replica.Config{
+		Primary:      cfg.follow,
+		PollInterval: cfg.followPoll,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "habfserved: "+format+"\n", args...)
+		},
+		OnSwap: func(f *habf.Sharded, epoch uint64) error {
+			if s := srvp.Load(); s != nil {
+				_, err := s.SwapFilter(f)
+				return err
+			}
+			boot.Store(f)
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	backoff := 500 * time.Millisecond
+	for {
+		if err := fol.Sync(ctx); err == nil {
+			break
+		} else {
+			fmt.Fprintf(os.Stderr, "habfserved: bootstrap: %v (retrying in %v)\n", err, backoff)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, nil, fmt.Errorf("follower bootstrap interrupted: %w", ctx.Err())
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > 10*time.Second {
+			backoff = 10 * time.Second
+		}
+	}
+	f := boot.Load()
+	st := f.Stats()
+	fmt.Fprintf(os.Stderr, "habfserved: following %s (epoch %d, backend %s, %d shards, %.1f KiB)\n",
+		fol.Primary(), fol.Stats().SyncedEpoch, f.Backend(), st.Shards, float64(st.SizeBits)/8/1024)
+	return fol, f, nil
+}
+
 func run(cfg config) error {
-	filter, err := buildFilter(cfg)
+	var (
+		filter *habf.Sharded
+		fol    *replica.Follower
+		srvp   atomic.Pointer[server.Server]
+		err    error
+	)
+	// folCtx outlives bootstrap: the same signal that starts the drain
+	// also stops the follower's poll loop.
+	folCtx, folCancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer folCancel()
+	if cfg.follow != "" {
+		if cfg.restore != "" || cfg.keys > 0 {
+			return errors.New("-follow is exclusive with -restore and -keys: the primary is the filter source")
+		}
+		fol, filter, err = bootstrapFollower(folCtx, cfg, &srvp)
+	} else {
+		filter, err = buildFilter(cfg)
+	}
 	if err != nil {
 		return err
 	}
-	srv, err := server.New(server.Config{
+	scfg := server.Config{
 		Filter:       filter,
 		Coalesce:     cfg.coalesce,
 		SnapshotPath: cfg.snapPath,
-	})
+	}
+	if fol != nil {
+		scfg.ReadOnly = true
+		scfg.Primary = fol.Primary()
+	}
+	srv, err := server.New(scfg)
 	if err != nil {
 		return err
+	}
+	if fol != nil {
+		srvp.Store(srv)
+		reg := srv.Metrics()
+		reg.Gauge("habfserved_replication_lag_epochs",
+			"Epochs this follower trails the primary, as of the last successful poll.",
+			func() float64 { return float64(fol.Stats().Lag()) })
+		reg.Gauge("habfserved_replication_synced_epoch",
+			"Primary-reported epoch of the last restored snapshot.",
+			func() float64 { return float64(fol.Stats().SyncedEpoch) })
+		reg.CounterFunc("habfserved_replication_resyncs_total",
+			"Successful snapshot restores, including the bootstrap pull.",
+			func() uint64 { return fol.Stats().Resyncs })
+		reg.CounterFunc("habfserved_replication_failures_total",
+			"Failed epoch polls and snapshot pulls.",
+			func() uint64 { return fol.Stats().Failures })
+		go fol.Run(folCtx)
 	}
 
 	hs := &http.Server{

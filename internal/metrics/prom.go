@@ -38,6 +38,13 @@ func (c *Counter) Value() uint64 { return c.v.Load() }
 // layer already tracks elsewhere (shard stats, filter size).
 type GaugeFunc func() float64
 
+// CounterFunc is a counter-typed metric sampled at scrape time, for
+// monotone counts owned by another component (a replication follower's
+// resync total, a router's hedge total). It renders as TYPE counter —
+// rate() works on it — without requiring that component to hold a
+// *Counter of this registry.
+type CounterFunc func() uint64
+
 // Histogram counts observations into fixed, cumulative-at-scrape-time
 // buckets. Observe is two atomic adds and a linear scan of ~16 bounds,
 // cheap enough for per-request latency tracking.
@@ -116,6 +123,7 @@ type metric struct {
 	help   string
 	kind   metricKind
 	c      *Counter
+	cf     CounterFunc
 	g      GaugeFunc
 	h      *Histogram
 }
@@ -152,6 +160,17 @@ func (r *Registry) Counter(name, help string) *Counter {
 		name: name, family: splitLabels(name), help: help, kind: kindCounter, c: c,
 	})
 	return c
+}
+
+// CounterFunc registers a scrape-time sampled counter. The function
+// must be monotone non-decreasing; the registry renders whatever it
+// returns.
+func (r *Registry) CounterFunc(name, help string, fn CounterFunc) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.metrics = append(r.metrics, &metric{
+		name: name, family: splitLabels(name), help: help, kind: kindCounter, cf: fn,
+	})
 }
 
 // Gauge registers a scrape-time sampled gauge.
@@ -198,7 +217,13 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 		switch m.kind {
 		case kindCounter:
-			if _, err := fmt.Fprintf(w, "%s %d\n", m.name, m.c.Value()); err != nil {
+			v := uint64(0)
+			if m.c != nil {
+				v = m.c.Value()
+			} else if m.cf != nil {
+				v = m.cf()
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", m.name, v); err != nil {
 				return err
 			}
 		case kindGauge:

@@ -172,21 +172,36 @@ func (b *BinaryServer) handle(conn net.Conn) {
 			b.s.mBinContains.Inc()
 			b.s.hBinContains.ObserveDuration(time.Since(start))
 		case wire.OpContainsBatch:
-			results := b.s.filter.ContainsBatch(req.Keys)
+			results := b.s.Filter().ContainsBatch(req.Keys)
 			out = wire.AppendBatchResp(out[:0], req.ID, results)
 			b.s.mBinBatch.Inc()
 			b.s.mBatchKeys.Add(uint64(len(req.Keys)))
 			b.s.hBatchSize.Observe(float64(len(req.Keys)))
 			b.s.hBinBatch.ObserveDuration(time.Since(start))
 		case wire.OpAdd:
+			if b.s.readOnly {
+				// A follower rejects writes on the binary path too. Error
+				// frames close the connection by protocol; pointing at the
+				// primary in the message is the best redirect this wire has.
+				b.s.mErrors.Inc()
+				out = wire.AppendErrorResp(out[:0], wire.OpAdd, req.ID,
+					"read-only follower: add at the primary "+b.s.primary)
+				conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+				bw.Write(out)
+				bw.Flush()
+				return
+			}
 			// The filter retains Add keys; the decoder's scratch must not
 			// escape into it, so Add gets its own copy.
-			b.s.filter.Add(append([]byte(nil), req.Key...))
+			b.s.Filter().Add(append([]byte(nil), req.Key...))
 			out = wire.AppendOKResp(out[:0], wire.OpAdd, req.ID)
 			b.s.mBinAdd.Inc()
 		case wire.OpPing:
 			out = wire.AppendOKResp(out[:0], wire.OpPing, req.ID)
 			b.s.mBinPing.Inc()
+		case wire.OpEpoch:
+			out = wire.AppendEpochResp(out[:0], req.ID, b.s.Filter().Epoch())
+			b.s.mBinEpoch.Inc()
 		}
 		if _, err := bw.Write(out); err != nil {
 			return

@@ -10,6 +10,8 @@
 //	POST /v1/contains_batch  {"keys": [<base64>, ...]}    → {"present": [bool, ...]}
 //	POST /v1/add             {"key": <base64>}            → {"ok": true}
 //	POST /v1/snapshot        {"path": "..."} (optional)   → {"path": ..., "ms": ...}
+//	GET  /v1/snapshot                                     → the snapshot container itself (octet-stream)
+//	GET  /v1/epoch                                        → the filter mutation epoch, as decimal text
 //	GET  /v1/stats                                        → filter + shard + coalescer stats
 //	GET  /metrics                                         → Prometheus text format
 //
@@ -22,6 +24,15 @@
 // Beside HTTP, BinaryServer serves the internal/wire binary protocol on
 // a raw TCP listener through the same coalescer and filter — the path
 // for single-key callers that can't afford HTTP request framing at all.
+//
+// The server is the unit of replication. GET /v1/snapshot streams the
+// same container SaveFile writes (stamped with the filter's mutation
+// epoch in an X-Habf-Epoch header), GET /v1/epoch is the cheap
+// freshness probe a follower polls, and SwapFilter atomically replaces
+// the served filter — how a follower that restored a fresher snapshot
+// cuts queries over without dropping a request. A server built with
+// Config.ReadOnly (a follower) rejects writes with a 307 redirect to
+// its primary, keeping the write path single-master.
 package server
 
 import (
@@ -32,6 +43,7 @@ import (
 	"mime"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -61,15 +73,27 @@ type Config struct {
 	// SnapshotPath is the default target for POST /v1/snapshot and for
 	// snapshot-on-exit. Empty means snapshot requests must name a path.
 	SnapshotPath string
+	// ReadOnly makes the server a replication follower: /v1/add and
+	// binary OpAdd are rejected, redirecting writers to Primary. Reads,
+	// stats, metrics and snapshot downloads serve normally.
+	ReadOnly bool
+	// Primary is the primary's base URL (e.g. "http://10.0.0.1:8080"),
+	// the redirect target for writes on a ReadOnly server.
+	Primary string
 }
 
 // Server is the HTTP serving layer. Create with New, expose with
 // Handler, and Close when done (it drains the coalescer).
 type Server struct {
-	filter   *habf.Sharded
+	// filter is behind an atomic pointer so a replication follower can
+	// swap in a freshly restored snapshot while requests are in flight;
+	// every handler loads it once per request via Filter().
+	filter   atomic.Pointer[habf.Sharded]
 	co       *Coalescer
 	mux      *http.ServeMux
 	snapPath string
+	readOnly bool
+	primary  string
 
 	// snapMu serializes snapshot writes to the default path so two
 	// concurrent /v1/snapshot calls don't interleave their progress
@@ -95,6 +119,7 @@ type Server struct {
 	mBinBatch    *metrics.Counter
 	mBinAdd      *metrics.Counter
 	mBinPing     *metrics.Counter
+	mBinEpoch    *metrics.Counter
 	hBinContains *metrics.Histogram
 	hBinBatch    *metrics.Histogram
 	binConns     atomic.Int64
@@ -106,11 +131,15 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: nil Filter")
 	}
 	s := &Server{
-		filter:   cfg.Filter,
 		snapPath: cfg.SnapshotPath,
+		readOnly: cfg.ReadOnly,
+		primary:  cfg.Primary,
 		reg:      metrics.NewRegistry(),
 	}
-	s.co = NewCoalescer(cfg.Filter, cfg.Coalesce)
+	s.filter.Store(cfg.Filter)
+	// The coalescer dispatches through the server, not a pinned filter,
+	// so micro-batches formed before a SwapFilter land on the new filter.
+	s.co = NewCoalescer(serverBatcher{s}, cfg.Coalesce)
 
 	s.mContains = s.reg.Counter(`habfserved_requests_total{endpoint="contains"}`, "Requests by endpoint.")
 	s.mContainsBatch = s.reg.Counter(`habfserved_requests_total{endpoint="contains_batch"}`, "Requests by endpoint.")
@@ -130,6 +159,7 @@ func New(cfg Config) (*Server, error) {
 	s.mBinBatch = s.reg.Counter(`habfserved_requests_total{endpoint="binary_contains_batch"}`, "Requests by endpoint.")
 	s.mBinAdd = s.reg.Counter(`habfserved_requests_total{endpoint="binary_add"}`, "Requests by endpoint.")
 	s.mBinPing = s.reg.Counter(`habfserved_requests_total{endpoint="binary_ping"}`, "Requests by endpoint.")
+	s.mBinEpoch = s.reg.Counter(`habfserved_requests_total{endpoint="binary_epoch"}`, "Requests by endpoint.")
 	s.hBinContains = s.reg.Histogram("habfserved_binary_contains_duration_seconds",
 		"Handler latency of binary-protocol contains frames (decode to encode).", metrics.DurationBuckets())
 	s.hBinBatch = s.reg.Histogram("habfserved_binary_batch_duration_seconds",
@@ -137,23 +167,25 @@ func New(cfg Config) (*Server, error) {
 	s.reg.Gauge("habfserved_binary_connections", "Open binary-protocol connections.",
 		func() float64 { return float64(s.binConns.Load()) })
 
-	s.reg.Gauge(fmt.Sprintf(`habfserved_backend_info{backend=%q,filter=%q}`, s.filter.Backend(), s.filter.Name()),
+	s.reg.Gauge(fmt.Sprintf(`habfserved_backend_info{backend=%q,filter=%q}`, cfg.Filter.Backend(), cfg.Filter.Name()),
 		"Constant 1; labels identify the serving filter backend.",
 		func() float64 { return 1 })
+	s.reg.Gauge("habfserved_filter_epoch", "Filter mutation epoch (Adds + rebuild swaps + absorbs, summed across shards).",
+		func() float64 { return float64(s.Filter().Epoch()) })
 	s.reg.Gauge("habfserved_filter_keys", "Positive keys currently represented.",
-		func() float64 { return float64(s.filter.Stats().Keys) })
+		func() float64 { return float64(s.Filter().Stats().Keys) })
 	s.reg.Gauge("habfserved_filter_size_bits", "Query-time footprint in bits.",
-		func() float64 { return float64(s.filter.SizeBits()) })
+		func() float64 { return float64(s.Filter().SizeBits()) })
 	s.reg.Gauge("habfserved_filter_shards", "Shard count.",
-		func() float64 { return float64(s.filter.NumShards()) })
+		func() float64 { return float64(s.Filter().NumShards()) })
 	s.reg.Gauge("habfserved_filter_rebuilds", "Completed background rebuilds.",
-		func() float64 { return float64(s.filter.Stats().Rebuilds) })
+		func() float64 { return float64(s.Filter().Stats().Rebuilds) })
 	s.reg.Gauge("habfserved_filter_pending_keys", "Static-backend Adds buffered outside the shard filters (bounded by the backend's absorb knob on restored sets).",
-		func() float64 { return float64(s.filter.Stats().Pending) })
+		func() float64 { return float64(s.Filter().Stats().Pending) })
 	s.reg.Gauge("habfserved_filter_restored_shards", "Shards serving a snapshot-restored filter (no drift rebuilds).",
-		func() float64 { return float64(s.filter.Stats().Restored) })
+		func() float64 { return float64(s.Filter().Stats().Restored) })
 	s.reg.Gauge("habfserved_filter_absorbs", "Pending maps absorbed into mutable sidecars on restored shards.",
-		func() float64 { return float64(s.filter.Stats().Absorbs) })
+		func() float64 { return float64(s.Filter().Stats().Absorbs) })
 	s.reg.Gauge("habfserved_coalesce_batches", "Micro-batches dispatched.",
 		func() float64 { return float64(s.co.Stats().Batches) })
 	s.reg.Gauge("habfserved_coalesce_keys", "Keys answered through micro-batches.",
@@ -165,6 +197,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("/v1/add", s.handleAdd)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/v1/epoch", s.handleEpoch)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux = mux
 	return s, nil
@@ -172,6 +205,39 @@ func New(cfg Config) (*Server, error) {
 
 // Handler returns the root handler for use with an http.Server.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Filter returns the currently served filter. Handlers load it once per
+// request, so a concurrent SwapFilter gives each request a consistent
+// filter without ever blocking one.
+func (s *Server) Filter() *habf.Sharded { return s.filter.Load() }
+
+// SwapFilter atomically replaces the served filter and returns the
+// previous one. In-flight requests finish against whichever filter they
+// loaded; new requests (and coalesced micro-batches formed after the
+// swap) see next. The backends must match — swapping a follower onto a
+// different filter family mid-serve would invalidate the registered
+// backend metrics and every client's expectations about tuning.
+func (s *Server) SwapFilter(next *habf.Sharded) (*habf.Sharded, error) {
+	if next == nil {
+		return nil, fmt.Errorf("server: nil filter")
+	}
+	if cur := s.Filter(); cur.Backend() != next.Backend() {
+		return nil, fmt.Errorf("server: cannot swap backend %q in over %q", next.Backend(), cur.Backend())
+	}
+	return s.filter.Swap(next), nil
+}
+
+// Metrics exposes the server's registry so the daemon can register
+// process-level series beside the built-in ones (replication lag,
+// resync counters in follower mode).
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// serverBatcher adapts the server's swappable filter to the coalescer's
+// Batcher interface: every dispatch resolves the filter at call time.
+type serverBatcher struct{ s *Server }
+
+func (b serverBatcher) Contains(key []byte) bool          { return b.s.Filter().Contains(key) }
+func (b serverBatcher) ContainsBatch(keys [][]byte) []bool { return b.s.Filter().ContainsBatch(keys) }
 
 // Coalescer exposes the coalescing layer (stats, direct benchmarking).
 func (s *Server) Coalescer() *Coalescer { return s.co }
@@ -193,7 +259,7 @@ func (s *Server) Snapshot(path string) (string, time.Duration, error) {
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
 	start := time.Now()
-	if err := s.filter.SaveFile(path); err != nil {
+	if err := s.Filter().SaveFile(path); err != nil {
 		return "", 0, err
 	}
 	return path, time.Since(start), nil
@@ -329,7 +395,7 @@ func (s *Server) handleContainsBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	present := s.filter.ContainsBatch(req.Keys)
+	present := s.Filter().ContainsBatch(req.Keys)
 	s.mContainsBatch.Inc()
 	s.mBatchKeys.Add(uint64(len(req.Keys)))
 	s.hBatchSize.Observe(float64(len(req.Keys)))
@@ -341,12 +407,26 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	if s.readOnly {
+		// A follower never accepts writes — its filter is a restored
+		// snapshot that the next resync would silently overwrite. Point
+		// the writer at the primary; 307 preserves method and body, so a
+		// client that follows redirects retries the identical POST there.
+		s.mErrors.Inc()
+		if s.primary != "" {
+			w.Header().Set("Location", strings.TrimSuffix(s.primary, "/")+"/v1/add")
+			http.Error(w, "read-only follower: add at the primary", http.StatusTemporaryRedirect)
+		} else {
+			http.Error(w, "read-only follower: no primary configured", http.StatusForbidden)
+		}
+		return
+	}
 	key, raw, err := readKey(r)
 	if err != nil {
 		s.failErr(w, "add", err)
 		return
 	}
-	s.filter.Add(key)
+	s.Filter().Add(key)
 	s.mAdd.Inc()
 	if raw {
 		w.WriteHeader(http.StatusNoContent)
@@ -360,6 +440,9 @@ type statsResponse struct {
 	Name     string           `json:"name"`
 	Backend  string           `json:"backend"`
 	Tuning   string           `json:"tuning"`
+	Role     string           `json:"role"`
+	Primary  string           `json:"primary,omitempty"`
+	Epoch    uint64           `json:"epoch"`
 	Keys     uint64           `json:"keys"`
 	Added    uint64           `json:"added"`
 	Pending  uint64           `json:"pending"`
@@ -376,11 +459,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
-	st := s.filter.Stats()
+	f := s.Filter()
+	st := f.Stats()
+	role := "primary"
+	if s.readOnly {
+		role = "follower"
+	}
 	s.writeJSON(w, statsResponse{
-		Name:     s.filter.Name(),
-		Backend:  s.filter.Backend(),
-		Tuning:   s.filter.Tuning(),
+		Name:     f.Name(),
+		Backend:  f.Backend(),
+		Tuning:   f.Tuning(),
+		Role:     role,
+		Primary:  s.primary,
+		Epoch:    f.Epoch(),
 		Keys:     st.Keys,
 		Added:    st.Added,
 		Pending:  st.Pending,
@@ -388,14 +479,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Absorbs:  st.Absorbs,
 		Restored: st.Restored,
 		SizeBits: st.SizeBits,
-		Shards:   s.filter.ShardInfos(),
+		Shards:   f.ShardInfos(),
 		Coalesce: s.co.Stats(),
 	})
 }
 
+// handleSnapshot serves two verbs on one path: POST writes a crash-safe
+// checkpoint to a server-side file (the operator form), GET streams the
+// same container to the caller (the replication form — a follower's
+// bootstrap and resync both ride it).
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodGet {
+		s.handleSnapshotDownload(w)
+		return
+	}
 	if r.Method != http.MethodPost {
-		s.fail(w, http.StatusMethodNotAllowed, "POST required")
+		s.fail(w, http.StatusMethodNotAllowed, "GET or POST required")
 		return
 	}
 	var req struct {
@@ -426,6 +525,40 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		"path": path,
 		"ms":   float64(took.Microseconds()) / 1e3,
 	})
+}
+
+// handleSnapshotDownload streams the filter's serving state as a
+// snapshot container — exactly the bytes SaveFile would write, so the
+// receiver restores it with habf.Load. The X-Habf-Epoch header carries
+// the filter's mutation epoch sampled before framing begins: writes
+// that land mid-stream may or may not be captured, so the header is the
+// conservative "at least this fresh" stamp a follower records as its
+// synced epoch (if the primary has since moved past it, the next poll
+// triggers another sync — never a false "up to date").
+func (s *Server) handleSnapshotDownload(w http.ResponseWriter) {
+	f := s.Filter()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Habf-Epoch", strconv.FormatUint(f.Epoch(), 10))
+	w.Header().Set("X-Habf-Backend", f.Backend())
+	if err := f.Save(w); err != nil {
+		// Headers are gone; all we can do is count it and cut the body
+		// short so the client's container checksum fails loudly.
+		s.mErrors.Inc()
+		return
+	}
+	s.mSnapshots.Inc()
+}
+
+// handleEpoch answers the filter's mutation epoch as decimal text — the
+// smallest possible freshness probe, cheap enough for every follower
+// and router to poll at high frequency.
+func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, strconv.FormatUint(s.Filter().Epoch(), 10))
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

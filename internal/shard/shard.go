@@ -638,6 +638,22 @@ func (s *Set) WaitRebuilds() { s.rebuildWG.Wait() }
 // NumShards returns the shard count.
 func (s *Set) NumShards() int { return len(s.shards) }
 
+// Epoch returns the set's mutation epoch: the sum of every shard's
+// per-shard epoch. Each Add, rebuild swap and sidecar absorb bumps its
+// shard's counter, so the sum is monotone under serving traffic and two
+// observations are equal only if no mutation landed between them —
+// which is exactly the freshness signal replication needs. A restored
+// set resumes at the epochs recorded in its snapshot frames (plus one
+// bump per shard that re-buffered pending keys), so a follower compares
+// epochs it fetched from the primary, never locally recomputed ones.
+func (s *Set) Epoch() uint64 {
+	var total uint64
+	for _, sh := range s.shards {
+		total += sh.epoch.Load()
+	}
+	return total
+}
+
 // Backend returns the registry name of the backend every shard uses.
 func (s *Set) Backend() string { return s.backend.Name }
 

@@ -29,6 +29,7 @@ func TestRequestRoundTrip(t *testing.T) {
 		AppendContainsBatch(nil, 2, batch),
 		AppendAdd(nil, 3, key),
 		AppendPing(nil, 4),
+		AppendEpoch(nil, 5),
 	)
 	d := NewDecoder(bytes.NewReader(stream))
 	if err := d.ReadHandshake(); err != nil {
@@ -64,6 +65,12 @@ func TestRequestRoundTrip(t *testing.T) {
 	}
 	if req.Op != OpPing || req.ID != 4 {
 		t.Fatalf("ping decoded as %+v", req)
+	}
+	if err := d.Next(&req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Op != OpEpoch || req.ID != 5 {
+		t.Fatalf("epoch decoded as %+v", req)
 	}
 	if err := d.Next(&req); err != io.EOF {
 		t.Fatalf("after last frame: %v, want io.EOF", err)
@@ -170,6 +177,13 @@ func TestResponseEncoders(t *testing.T) {
 	want = append(want, 0b11011001, 0b00000001)
 	if !bytes.Equal(got, want) {
 		t.Fatalf("batch resp % x, want % x", got, want)
+	}
+
+	got = AppendEpochResp(nil, 11, 300)
+	want = append(appendUvarint([]byte{byte(OpEpoch)}, 11), StatusOK)
+	want = appendUvarint(want, 300)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("epoch resp % x, want % x", got, want)
 	}
 
 	got = AppendErrorResp(nil, OpAdd, 3, "boom")

@@ -163,6 +163,13 @@ func (s *Sharded) SizeBits() uint64 { return s.set.SizeBits() }
 // NumShards returns the shard count.
 func (s *Sharded) NumShards() int { return s.set.NumShards() }
 
+// Epoch returns the filter's mutation epoch — a counter that advances
+// on every Add, background rebuild swap and pending absorb, summed
+// across shards. Replication uses it as the freshness signal: a
+// follower that restored a snapshot taken at epoch E is up to date
+// exactly while the primary still reports E.
+func (s *Sharded) Epoch() uint64 { return s.set.Epoch() }
+
 // Backend returns the registry name of the filter backend every shard
 // uses ("habf", "bloom", "xor", ...).
 func (s *Sharded) Backend() string { return s.set.Backend() }
