@@ -274,6 +274,15 @@ func BenchmarkShardedContainsBatch(b *testing.B) {
 			_ = sharded.ContainsBatch(probes[lo : lo+256])
 		}
 	})
+	b.Run("sharded/batch256/into", func(b *testing.B) {
+		// The zero-alloc variant: a serving loop's reused result buffer.
+		b.ReportAllocs()
+		dst := make([]bool, 256)
+		for i := 0; i < b.N; i += 256 {
+			lo := i & mask
+			sharded.ContainsBatchInto(dst, probes[lo:lo+256])
+		}
+	})
 	b.Run("sharded/perkey/parallel", func(b *testing.B) {
 		// The uncoalesced per-request serving path: ≥8 concurrent
 		// clients each querying one key at a time (per-key shard lock,

@@ -197,6 +197,15 @@ func runNet(cfg netConfig, w io.Writer) error {
 			}
 			return g.scenario(name+suffix, loop, withWriters)
 		}
+		// The direct scenario measures the hash-once, shard-grouped batch
+		// read path with no server or wire format in front of it — the
+		// floor every net/contains_batch number sits on top of.
+		g.filter = filter
+		if err := g.scenario("direct/contains_batch"+suffix, g.directBatchLoop, false); err != nil {
+			g.filter = nil
+			return err
+		}
+		g.filter = nil
 		if cfg.protoHas("http") {
 			if err := run("net/contains/uncoalesced", server.CoalesceConfig{Disabled: true}, g.containsLoop, false); err != nil {
 				return err
@@ -371,6 +380,10 @@ type netGen struct {
 	// for the benchjson artifact.
 	lastBackend  string
 	noteBackends string
+	// filter is the in-process self-test filter of the backend currently
+	// being driven; the direct/* scenarios query it without a server in
+	// between, so the shard-layer batch pipeline is measured by itself.
+	filter *habf.Sharded
 }
 
 // serverIdentity asks the target's /v1/stats for its filter name and
@@ -795,6 +808,37 @@ func (g *netGen) batchLoop(client int, probes [][]byte, n int, lat *[]int64) err
 		for j, ok := range br.Present {
 			if ((lo+j)&mask)%2 == 1 && !ok {
 				return fmt.Errorf("false negative over HTTP for member probe %d", (lo+j)&mask)
+			}
+		}
+		done += size
+	}
+	return nil
+}
+
+// directBatchLoop drives the sharded filter's ContainsBatchInto with no
+// server in between: batches of the configured size from a reused,
+// caller-owned destination buffer — exactly the steady state a serving
+// loop reaches. One latency sample covers one batch; ops stay per-key,
+// comparable with every other scenario.
+func (g *netGen) directBatchLoop(client int, probes [][]byte, n int, lat *[]int64) error {
+	mask := len(probes) - 1
+	dst := make([]bool, g.cfg.batch)
+	batch := make([][]byte, g.cfg.batch)
+	for done := 0; done < n; {
+		size := g.cfg.batch
+		if n-done < size {
+			size = n - done
+		}
+		lo := done & mask
+		for j := 0; j < size; j++ {
+			batch[j] = probes[(lo+j)&mask]
+		}
+		start := time.Now()
+		g.filter.ContainsBatchInto(dst[:size], batch[:size])
+		*lat = append(*lat, time.Since(start).Nanoseconds())
+		for j := 0; j < size; j++ {
+			if ((lo+j)&mask)%2 == 1 && !dst[j] {
+				return fmt.Errorf("false negative in direct batch for member probe %d", (lo+j)&mask)
 			}
 		}
 		done += size

@@ -57,8 +57,10 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"syscall"
@@ -87,6 +89,9 @@ func main() {
 		follow     = flag.String("follow", "", "run as a read-only follower of this primary (base URL or host:port); exclusive with -restore/-keys")
 		followPoll = flag.Duration("follow-poll", time.Second, "how often a follower polls the primary's epoch")
 
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); keeps the debug surface off the serving port")
+		profileRate = flag.Int("profile-rate", 0, "mutex profile fraction and block profile rate (runtime.SetMutexProfileFraction / SetBlockProfileRate); 0 leaves both off")
+
 		coalesceOff  = flag.Bool("no-coalesce", false, "disable request coalescing (direct per-key queries)")
 		maxBatch     = flag.Int("coalesce-batch", 256, "largest coalesced micro-batch")
 		maxWait      = flag.Duration("coalesce-wait", 0, "how long a dispatcher lingers for stragglers (0: drain-only)")
@@ -99,6 +104,7 @@ func main() {
 		addr: *addr, addrBin: *addrBin, restore: *restore, keys: *keys, backend: *backend, tune: *tune, shards: *shards,
 		seed: *seed, bits: *bits, snapPath: *snapPath, snapExit: *snapExit,
 		follow: *follow, followPoll: *followPoll,
+		pprofAddr: *pprofAddr, profileRate: *profileRate,
 		drainTimeout: *drainTimeout,
 		coalesce: server.CoalesceConfig{
 			MaxBatch:    *maxBatch,
@@ -127,6 +133,8 @@ type config struct {
 	snapExit     bool
 	follow       string
 	followPoll   time.Duration
+	pprofAddr    string
+	profileRate  int
 	drainTimeout time.Duration
 	coalesce     server.CoalesceConfig
 }
@@ -285,6 +293,29 @@ func run(cfg config) error {
 			"Failed epoch polls and snapshot pulls.",
 			func() uint64 { return fol.Stats().Failures })
 		go fol.Run(folCtx)
+	}
+
+	// The profiler rides its own listener so the debug surface never
+	// shares a port with production traffic. The contention profiles are
+	// opt-in by rate: sampling mutex waits and blocking events costs a
+	// little on every contended lock, so both stay off unless asked.
+	if cfg.profileRate > 0 {
+		runtime.SetMutexProfileFraction(cfg.profileRate)
+		runtime.SetBlockProfileRate(cfg.profileRate)
+	}
+	if cfg.pprofAddr != "" {
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			fmt.Fprintf(os.Stderr, "habfserved: pprof on %s\n", cfg.pprofAddr)
+			if err := http.ListenAndServe(cfg.pprofAddr, pmux); err != nil {
+				fmt.Fprintf(os.Stderr, "habfserved: pprof: %v\n", err)
+			}
+		}()
 	}
 
 	hs := &http.Server{

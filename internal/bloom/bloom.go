@@ -26,8 +26,10 @@ type Strategy int
 const (
 	// StrategyCorpus uses k distinct functions from the Table II corpus.
 	StrategyCorpus Strategy = iota
-	// StrategySeeded64 derives k values from one City-style 64-bit hash
-	// and k seeds.
+	// StrategySeeded64 derives k values from one strong 64-bit hash and k
+	// seeds — the paper's BF(City64) construction. The base hash is the
+	// shared hashes.Base of the batch read path, so prepared batch callers
+	// can hand the filter an already-computed value (ContainsHash).
 	StrategySeeded64
 	// StrategySplit128 derives k values from a 128-bit hash (two lanes)
 	// via Kirsch–Mitzenmacher double hashing.
@@ -133,7 +135,7 @@ func (f *Filter) positionsK(key []byte, k int, dst []uint64) []uint64 {
 			dst = append(dst, fn(key)%m)
 		}
 	case StrategySeeded64:
-		base := hashes.City64(key)
+		base := hashes.Base(key)
 		for i := 0; i < k; i++ {
 			dst = append(dst, hashes.Mix64(base^hashes.Mix64(uint64(i)+0x9e3779b97f4a7c15))%m)
 		}
@@ -180,6 +182,25 @@ func (f *Filter) ContainsK(key []byte, k int) bool {
 	var buf [32]uint64
 	for _, p := range f.positionsK(key, k, buf[:0]) {
 		if !f.bits.Test(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// PreparedHash reports whether ContainsHash can answer for this filter:
+// only the seeded64 strategy derives all probe positions from the shared
+// base hash (hashes.Base); the corpus and split128 strategies read the
+// key bytes directly.
+func (f *Filter) PreparedHash() bool { return f.strategy == StrategySeeded64 }
+
+// ContainsHash is Contains for a precomputed base = hashes.Base(key),
+// valid only when PreparedHash reports true. Batch callers that already
+// hashed the key for shard routing use it to skip re-reading key bytes.
+func (f *Filter) ContainsHash(base uint64) bool {
+	m := f.bits.Len()
+	for i := 0; i < f.k; i++ {
+		if !f.bits.Test(hashes.Mix64(base^hashes.Mix64(uint64(i)+0x9e3779b97f4a7c15)) % m) {
 			return false
 		}
 	}

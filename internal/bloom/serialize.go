@@ -20,7 +20,11 @@ import (
 // Only query-time state is serialized; the insert count travels along so
 // fill statistics survive a round trip.
 
-const filterVersion = 1
+// Version 2: probe positions derive from the shared base hash
+// (hashes.Base) instead of per-family key hashing. Version-1 containers
+// hold bits under the old derivation and must not be served by this
+// code, so decoding rejects them.
+const filterVersion = 2
 
 // wireMagic is the on-wire magic: "BLMF" as a little-endian u32.
 const wireMagic = uint32(0x464d4c42)

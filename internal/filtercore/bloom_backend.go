@@ -23,6 +23,7 @@ type bloomBackend struct {
 }
 
 var _ Backend = (*bloomBackend)(nil)
+var _ PreparedQuerier = (*bloomBackend)(nil)
 
 func (b *bloomBackend) Contains(key []byte) bool       { return b.f.Contains(key) }
 func (b *bloomBackend) AddedKeys() uint64              { return b.added.Load() }
@@ -35,6 +36,19 @@ func (b *bloomBackend) Borrowed() bool                 { return b.f.Borrowed() }
 
 func (b *bloomBackend) ContainsBatch(keys [][]byte) []bool {
 	return containsBatchSerial(b, keys)
+}
+
+// ContainsBatchInto implements PreparedQuerier. Only the seeded64
+// strategy derives every probe position from the shared base hash; the
+// corpus and split128 strategies fall back to per-key Contains.
+func (b *bloomBackend) ContainsBatchInto(dst []bool, keys [][]byte, hashes []uint64) {
+	if hashes == nil || !b.f.PreparedHash() {
+		containsBatchSerialInto(b, dst, keys)
+		return
+	}
+	for i, h := range hashes[:len(keys)] {
+		dst[i] = b.f.ContainsHash(h)
+	}
 }
 
 func (b *bloomBackend) Add(key []byte) error {

@@ -88,6 +88,26 @@ type Backend interface {
 	Borrowed() bool
 }
 
+// PreparedQuerier is the optional batch fast path of the hash-once read
+// pipeline. The shard layer computes one base hash per key per batch
+// (hashes.Base), routes with its top bits, and hands the full values to
+// backends that implement this interface; backends whose probe positions
+// derive from the base hash (seeded64 Bloom, Xor, PHBF, WBF) then skip
+// re-reading the key bytes entirely.
+//
+// Contract: dst and keys (and hashes, when non-nil) share indices and
+// length ≥ len(keys); the backend writes Contains(keys[i]) into dst[i]
+// for every i and touches nothing past len(keys). hashes[i], when
+// provided, must equal hashes.Base(keys[i]) — the caller owns that
+// invariant (the shard layer only forwards base hashes computed under
+// the global BaseSeed; restored sets routed under a legacy seed pass
+// nil). A nil hashes slice means "no precomputed bases": the backend
+// hashes the keys itself and must return identical answers. None of the
+// three slices is retained after the call.
+type PreparedQuerier interface {
+	ContainsBatchInto(dst []bool, keys [][]byte, hashes []uint64)
+}
+
 // BuildConfig carries what a shard build hands a backend constructor.
 type BuildConfig struct {
 	// TotalBits is the shard's space budget.
@@ -205,4 +225,12 @@ func containsBatchSerial(b Backend, keys [][]byte) []bool {
 		out[i] = b.Contains(key)
 	}
 	return out
+}
+
+// containsBatchSerialInto is the in-place flavor of containsBatchSerial,
+// for PreparedQuerier implementations falling back to per-key Contains.
+func containsBatchSerialInto(b Backend, dst []bool, keys [][]byte) {
+	for i, key := range keys {
+		dst[i] = b.Contains(key)
+	}
 }

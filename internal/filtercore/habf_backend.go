@@ -13,6 +13,7 @@ type habfBackend struct {
 }
 
 var _ Backend = (*habfBackend)(nil)
+var _ PreparedQuerier = (*habfBackend)(nil)
 
 func (b *habfBackend) Contains(key []byte) bool           { return b.f.Contains(key) }
 func (b *habfBackend) ContainsBatch(keys [][]byte) []bool { return b.f.ContainsBatch(keys) }
@@ -33,6 +34,14 @@ func (b *habfBackend) Add(key []byte) error {
 // batch path fast-cases on (see shard.containsChunk).
 func (b *habfBackend) ContainsScratch(key []byte, scratch []uint8) bool {
 	return b.f.ContainsScratch(key, scratch)
+}
+
+// ContainsBatchInto implements PreparedQuerier. HABF keeps its own hash
+// family (Table II corpus / simulated double hashing), so the shared base
+// hashes are ignored; the batch-into form still skips the per-call result
+// allocation and per-key dispatch.
+func (b *habfBackend) ContainsBatchInto(dst []bool, keys [][]byte, _ []uint64) {
+	b.f.ContainsBatchInto(dst, keys)
 }
 
 func init() {

@@ -46,16 +46,37 @@ func (f *family) prepare(key []byte) keyState {
 // pos returns the position of the key under function idx, modulo mod.
 func (f *family) pos(ks keyState, idx uint8, mod uint64) uint64 {
 	if f.fast {
-		return hashes.EnhancedDouble(ks.h1, ks.h2, int(idx)+1) % mod
+		return f.rawFast(ks.h1, ks.h2, idx) % mod
 	}
-	return f.fns[idx](ks.key) % mod
+	return f.rawSlow(ks.key, idx) % mod
+}
+
+// rawSlow returns the un-reduced hash of key under corpus function idx.
+// The fused query path computes it once per walked HashExpressor cell and
+// reduces it by both moduli (cell count and Bloom length) itself.
+func (f *family) rawSlow(key []byte, idx uint8) uint64 {
+	return f.fns[idx](key)
+}
+
+// rawFast is rawSlow for the f-HABF simulated family: the key is fully
+// described by its two prepared lanes.
+func (f *family) rawFast(h1, h2 uint64, idx uint8) uint64 {
+	return hashes.EnhancedDouble(h1, h2, int(idx)+1)
 }
 
 // entry returns the HashExpressor entry position f(e) (the "unified hash
 // function" of Table I), which must be independent of every family member.
 func (f *family) entry(ks keyState, mod uint64) uint64 {
 	if f.fast {
-		return hashes.Mix64(ks.h1^(ks.h2<<1)^f.seed) % mod
+		return f.entryFast(ks.h1, ks.h2, mod)
 	}
-	return hashes.XXH64Seed(ks.key, f.seed^0x517cc1b727220a95) % mod
+	return f.entrySlow(ks.key, mod)
+}
+
+func (f *family) entrySlow(key []byte, mod uint64) uint64 {
+	return hashes.XXH64Seed(key, f.seed^0x517cc1b727220a95) % mod
+}
+
+func (f *family) entryFast(h1, h2, mod uint64) uint64 {
+	return hashes.Mix64(h1^(h2<<1)^f.seed) % mod
 }

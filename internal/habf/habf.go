@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/bitset"
+	"repro/internal/hashes"
 )
 
 // Filter is a constructed Hash Adaptive Bloom Filter. It is safe for any
@@ -203,18 +204,38 @@ func (b *builder) measureFPR() (plain, weighted float64) {
 // round one; adjusted positives are recovered from HashExpressor and pass
 // round two.
 func (f *Filter) Contains(key []byte) bool {
-	var buf [32]uint8
-	return f.contains(key, buf[:0])
+	return f.contains(key)
 }
 
-// contains is the scratch-reusing core of Contains: scratch backs the
-// HashExpressor selection lookup of round two.
-func (f *Filter) contains(key []byte, scratch []uint8) bool {
+// contains is the core of Contains: round one tests the default
+// selection H0; round two walks the key's HashExpressor chain and tests
+// the Bloom filter in the same pass, so each walked cell costs exactly
+// one family-hash evaluation (the raw value is reduced by both the cell
+// count and the Bloom length). Fusing the walk with the test answers
+// identically to "query the full selection, then test it": both return
+// true iff the chain is complete (k cells, endbit set) and every derived
+// Bloom position is set.
+func (f *Filter) contains(key []byte) bool {
 	m := f.bloomLen
-	ks := f.fam.prepare(key)
+	fam := f.fam
+	bits := f.bfBits
+	if fam.fast {
+		h1, h2 := hashes.Split128(key, fam.seed)
+		pass := true
+		for _, idx := range f.h0 {
+			if !bits.Test(fam.rawFast(h1, h2, idx) % m) {
+				pass = false
+				break
+			}
+		}
+		if pass {
+			return true
+		}
+		return f.roundTwoFast(h1, h2, m)
+	}
 	pass := true
 	for _, idx := range f.h0 {
-		if !f.bf.Test(f.fam.pos(ks, idx, m)) {
+		if !bits.Test(fam.rawSlow(key, idx) % m) {
 			pass = false
 			break
 		}
@@ -222,46 +243,87 @@ func (f *Filter) contains(key []byte, scratch []uint8) bool {
 	if pass {
 		return true
 	}
-	phi := f.he.query(f.fam, ks, scratch)
-	if phi == nil {
-		// HashExpressor answered "no stored selection": φ(e) = H0, and the
-		// H0 check already failed.
-		return false
-	}
-	for _, idx := range phi {
-		if !f.bf.Test(f.fam.pos(ks, idx, m)) {
+	return f.roundTwoSlow(key, m)
+}
+
+// roundTwoSlow recovers an adjusted key's customized selection from the
+// HashExpressor and tests it against the Bloom filter, one family-hash
+// evaluation per walked cell. An incomplete chain (empty cell, bad index,
+// missing endbit) means "no stored selection": φ(e) = H0, and round one
+// already failed.
+func (f *Filter) roundTwoSlow(key []byte, m uint64) bool {
+	he, fam, bits := f.he, f.fam, f.bfBits
+	cell := fam.entrySlow(key, he.omega)
+	for i := 0; i < he.k; i++ {
+		endbit, v := he.load(cell)
+		if v == 0 {
 			return false
 		}
+		idx := v - 1
+		if int(idx) >= fam.size {
+			return false
+		}
+		raw := fam.rawSlow(key, idx)
+		if !bits.Test(raw % m) {
+			return false
+		}
+		if i == he.k-1 {
+			return endbit
+		}
+		cell = raw % he.omega
 	}
-	return true
+	return false
+}
+
+// roundTwoFast is roundTwoSlow for the f-HABF simulated family.
+func (f *Filter) roundTwoFast(h1, h2, m uint64) bool {
+	he, fam, bits := f.he, f.fam, f.bfBits
+	cell := fam.entryFast(h1, h2, he.omega)
+	for i := 0; i < he.k; i++ {
+		endbit, v := he.load(cell)
+		if v == 0 {
+			return false
+		}
+		idx := v - 1
+		if int(idx) >= fam.size {
+			return false
+		}
+		raw := fam.rawFast(h1, h2, idx)
+		if !bits.Test(raw % m) {
+			return false
+		}
+		if i == he.k-1 {
+			return endbit
+		}
+		cell = raw % he.omega
+	}
+	return false
 }
 
 // ContainsBatch evaluates every key in one pass and returns a result per
 // key, in order. It answers exactly like per-key Contains but hoists the
-// per-call setup (Bloom length, HashExpressor scratch buffer) out of the
-// loop, which is what serving layers batching queries want.
+// per-call setup out of the loop, which is what serving layers batching
+// queries want.
 func (f *Filter) ContainsBatch(keys [][]byte) []bool {
 	out := make([]bool, len(keys))
 	f.ContainsBatchInto(out, keys)
 	return out
 }
 
-// ContainsBatchInto writes Contains(keys[i]) into dst[i], reusing one
-// scratch buffer across the whole batch. dst must have at least len(keys)
-// elements; extra elements are left untouched.
+// ContainsBatchInto writes Contains(keys[i]) into dst[i]. dst must have
+// at least len(keys) elements; extra elements are left untouched.
 func (f *Filter) ContainsBatchInto(dst []bool, keys [][]byte) {
-	var buf [32]uint8
 	for i, key := range keys {
-		dst[i] = f.contains(key, buf[:0])
+		dst[i] = f.contains(key)
 	}
 }
 
-// ContainsScratch is Contains with a caller-owned scratch buffer for the
-// round-two selection lookup, for batch callers (the shard package) that
-// evaluate non-contiguous key subsets and want zero per-key allocation.
-// scratch must have capacity ≥ K and is not retained.
+// ContainsScratch is Contains for batch callers that pre-size a scratch
+// buffer. The fused round-two walk no longer needs one — the selection is
+// tested cell by cell instead of being collected first — so scratch is
+// ignored; the method survives for the shard layer's backend probing.
 func (f *Filter) ContainsScratch(key []byte, scratch []uint8) bool {
-	return f.contains(key, scratch)
+	return f.contains(key)
 }
 
 // Name identifies the filter in experiment output.

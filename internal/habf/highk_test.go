@@ -1,0 +1,62 @@
+package habf
+
+import (
+	"testing"
+)
+
+// TestHighKQuery pins the query path at the family-size ceiling. The
+// old query scratch was a fixed [32]uint8 sized to the largest family
+// (CellBits 6 → 31 usable functions in fast mode, the full 22-function
+// corpus in slow mode); the fused round-two walk removed the scratch
+// entirely, and this test keeps anyone from reintroducing a buffer
+// sized below the real ceiling. Every tuning here uses the largest K
+// its mode permits.
+func TestHighKQuery(t *testing.T) {
+	cases := []struct {
+		name string
+		fast bool
+		k    int
+	}{
+		{"slow-corpus-ceiling", false, 22}, // corpus size caps slow mode
+		{"fast-cell-ceiling", true, 31},    // (1<<5)-1 caps fast mode
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			pos := genKeys(2000, "hk-member")
+			neg := genNegatives(2000, "hk-outsider", uniformCost)
+			f, err := New(pos, neg, Params{
+				TotalBits: 2000 * 40, // high K needs a generous budget
+				K:         c.k,
+				CellBits:  6,
+				Fast:      c.fast,
+			})
+			if err != nil {
+				t.Fatalf("New(K=%d, CellBits=6, fast=%v): %v", c.k, c.fast, err)
+			}
+			for _, key := range pos {
+				if !f.Contains(key) {
+					t.Fatalf("false negative at K=%d: %q", c.k, key)
+				}
+			}
+			// Batch answers must match per-key answers probe for probe.
+			batch := make([][]byte, 0, 256)
+			for i := 0; i < 128; i++ {
+				batch = append(batch, pos[i*13%len(pos)], neg[i*7%len(neg)].Key)
+			}
+			dst := make([]bool, len(batch))
+			f.ContainsBatchInto(dst, batch)
+			for i, key := range batch {
+				if want := f.Contains(key); dst[i] != want {
+					t.Fatalf("batch disagrees with per-key at %d (%q): %v != %v", i, key, dst[i], want)
+				}
+			}
+			// One past the ceiling must be a construction error, not a
+			// silently clamped or overflowing query.
+			if _, err := New(pos, neg, Params{
+				TotalBits: 2000 * 40, K: c.k + 1, CellBits: 6, Fast: c.fast,
+			}); err == nil {
+				t.Fatalf("K=%d beyond the %s family accepted", c.k+1, c.name)
+			}
+		})
+	}
+}

@@ -1,0 +1,103 @@
+package hashes
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBaseGoldenVectors pins the exact output of the shared base hash.
+// Base is a format constant, not just a function: shard routing, the
+// seeded64 Bloom strategy, the xor filter, PHBF and WBF all store bits
+// derived from it, so any change to its output silently corrupts every
+// serialized container of those families. If this test fails, you have
+// redefined the on-disk format — bump the affected filter versions and
+// regenerate every golden fixture, or revert.
+func TestBaseGoldenVectors(t *testing.T) {
+	vectors := []struct {
+		in   string
+		want uint64
+	}{
+		{"", 0x85e0b17362acf074},
+		{"a", 0x54580a24a10ae040},
+		{"ab", 0x6746548e227b93aa},
+		{"abc", 0xbfdb05d686cbf160},
+		{"abcd", 0xad1c3ea5d7b2e7ad},
+		{"key-0000042", 0xb56f7d75bb1945fc},
+		{"www.example.com", 0x0a71cd215b6c26c7},
+		{"habf.sharded.batch/route", 0x738f5cb6d511d9ce},
+		{"xxxxxxxxxxxxxxxx", 0x4dc4be362c015b57},
+		{"domain.example/domain.example/domain.example/", 0x586d2c16ccc58b61},
+		{"0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef", 0xdb37757192e9f1e6},
+		{"long-key-material/long-key-material/long-key-material/long-key-material/long-key-material/long-key-material/long-key-material/long-key-material/long-key-material/long-key-material/long-key-material/long-key-material/", 0x9de32d95812dcf70},
+	}
+	for _, v := range vectors {
+		if got := Base([]byte(v.in)); got != v.want {
+			t.Errorf("Base(%q) = %#016x, want %#016x — the base-hash format changed", v.in, got, v.want)
+		}
+	}
+}
+
+// TestBaseEveryLength walks every key length through the size-class
+// branches (empty, <4, <8, ≤16, 16-byte blocks, the 48-byte lane loop)
+// and checks the basics a routing hash cannot do without: determinism,
+// and sensitivity to the first byte, the last byte, and the length.
+func TestBaseEveryLength(t *testing.T) {
+	for n := 0; n <= 200; n++ {
+		key := make([]byte, n)
+		for i := range key {
+			key[i] = byte(i*31 + 7)
+		}
+		h := Base(key)
+		if Base(key) != h {
+			t.Fatalf("len %d: not deterministic", n)
+		}
+		if n > 0 {
+			first := append([]byte{}, key...)
+			first[0] ^= 0x01
+			if Base(first) == h {
+				t.Errorf("len %d: first byte does not affect Base", n)
+			}
+			last := append([]byte{}, key...)
+			last[n-1] ^= 0x01
+			if Base(last) == h {
+				t.Errorf("len %d: last byte does not affect Base", n)
+			}
+			if Base(key[:n-1]) == h {
+				t.Errorf("len %d: truncation does not affect Base", n)
+			}
+		}
+	}
+}
+
+// TestBaseTopBitsUniform checks the bits shard routing actually consumes:
+// over sequentially-named keys, the top three bits must spread keys
+// across all eight buckets close to evenly, or one shard would absorb a
+// disproportionate share of every batch.
+func TestBaseTopBitsUniform(t *testing.T) {
+	const n = 1 << 14
+	var buckets [8]int
+	for i := 0; i < n; i++ {
+		key := []byte("host-" + strings.Repeat("0", i%3) + itoa(i) + ".example.com")
+		buckets[Base(key)>>61]++
+	}
+	want := n / 8
+	for b, got := range buckets {
+		if got < want*8/10 || got > want*12/10 {
+			t.Errorf("top-bit bucket %d holds %d of %d keys (want %d ±20%%)", b, got, n, want)
+		}
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	n := len(buf)
+	for i > 0 {
+		n--
+		buf[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[n:])
+}

@@ -13,6 +13,11 @@
 // customization also protects against skewed hash functions.
 package hashes
 
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
 // Func is a deterministic 64-bit hash over a byte string.
 type Func func(data []byte) uint64
 
@@ -81,6 +86,86 @@ func ByName(name string) (Func, bool) {
 	return nil, false
 }
 
+// BaseSeed seeds the shared per-key base hash of the batch read path.
+// shard.Set routes keys with the top bits of Base(key) and hands the full
+// 64-bit value to backends implementing filtercore.PreparedQuerier, which
+// re-derive their probe positions from it via Mix64 dispersal instead of
+// re-reading the key. The constant is part of the stored-bit derivation of
+// the seeded64 Bloom strategy, the xor filter, PHBF, and WBF — changing it
+// invalidates their serialized containers.
+const BaseSeed uint64 = 0x51ce5eed0ba5e000
+
+// Base multipliers: the published wyhash secret constants. Each is odd
+// with balanced bit counts, which is what the folded-multiply mixer needs
+// to avoid cancellation.
+const (
+	baseM1 uint64 = 0xa0761d6478bd642f
+	baseM2 uint64 = 0xe7037ed1a0b428db
+	baseM3 uint64 = 0x8ebc6af09c88c6e3
+	baseM4 uint64 = 0x589965cc75374cc3
+)
+
+// baseMum folds one 64x64→128 multiply into 64 bits. A single widening
+// multiply diffuses every input bit into both halves; xoring the halves
+// keeps all of that entropy at a third of the latency of a
+// multiply-rotate-multiply chain.
+func baseMum(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	return hi ^ lo
+}
+
+// Base is the per-key base hash shared by routing and position derivation:
+// one strong 64-bit hash, computed once per key per batch. shard routing
+// consumes its top bits and PreparedQuerier backends re-derive probe
+// positions from the full value, so Base sits on the critical path of
+// every batched query; it uses a wyhash-style folded-multiply construction
+// (three widening multiplies for keys up to 16 bytes, one more per further
+// 16 bytes) rather than the corpus XX64, whose multiply-rotate finalizer
+// is several times slower on short keys.
+//
+// The exact output is a format constant: seeded64 Bloom, Xor, PHBF and WBF
+// containers store bits derived from it (see their filterVersion 2 docs),
+// and sharded snapshots route by it. Changing Base — or BaseSeed — breaks
+// every one of those containers; TestBaseGoldenVectors pins it.
+func Base(data []byte) uint64 {
+	n := len(data)
+	seed := BaseSeed ^ baseM1
+	var a, b uint64
+	if n <= 16 {
+		if n >= 8 {
+			a = binary.LittleEndian.Uint64(data)
+			b = binary.LittleEndian.Uint64(data[n-8:])
+		} else if n >= 4 {
+			a = uint64(binary.LittleEndian.Uint32(data))
+			b = uint64(binary.LittleEndian.Uint32(data[n-4:]))
+		} else if n > 0 {
+			a = uint64(data[0])<<16 | uint64(data[n>>1])<<8 | uint64(data[n-1])
+		}
+	} else {
+		p := data
+		i := n
+		if i > 48 {
+			// Three independent lanes keep the multiplies pipelined on
+			// long keys; they collapse into the seed before the tail.
+			s1, s2 := seed, seed
+			for ; i > 48; i -= 48 {
+				seed = baseMum(binary.LittleEndian.Uint64(p)^baseM1, binary.LittleEndian.Uint64(p[8:])^seed)
+				s1 = baseMum(binary.LittleEndian.Uint64(p[16:])^baseM2, binary.LittleEndian.Uint64(p[24:])^s1)
+				s2 = baseMum(binary.LittleEndian.Uint64(p[32:])^baseM3, binary.LittleEndian.Uint64(p[40:])^s2)
+				p = p[48:]
+			}
+			seed ^= s1 ^ s2
+		}
+		for ; i > 16; i -= 16 {
+			seed = baseMum(binary.LittleEndian.Uint64(p)^baseM2, binary.LittleEndian.Uint64(p[8:])^seed)
+			p = p[16:]
+		}
+		a = binary.LittleEndian.Uint64(data[n-16:])
+		b = binary.LittleEndian.Uint64(data[n-8:])
+	}
+	return baseMum(baseM4^uint64(n), baseMum(a^baseM2, b^seed))
+}
+
 // Mix64 is the splitmix64 finalizer: a cheap full-avalanche 64-bit mixer
 // used to derive seeded variants and to post-condition weak values.
 func Mix64(x uint64) uint64 {
@@ -90,6 +175,17 @@ func Mix64(x uint64) uint64 {
 	x *= 0x94d049bb133111eb
 	x ^= x >> 31
 	return x
+}
+
+// BaseLanes derives two double-hashing lanes from a base hash and a seed
+// via chained Mix64 dispersal. Mix64 is bijective with full avalanche, so
+// conditioning on the base's top bits (which shard routing consumes) does
+// not bias the derived lanes — the same argument split-block Bloom filters
+// use when they route on high bits and probe with remixed low bits.
+func BaseLanes(base, seed uint64) (h1, h2 uint64) {
+	h1 = Mix64(base ^ seed)
+	h2 = Mix64(h1 ^ 0xc3a5c85c97cb3127)
+	return h1, h2
 }
 
 // Seeded returns h(data) perturbed by seed with full avalanche. It is the

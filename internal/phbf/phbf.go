@@ -80,11 +80,14 @@ func New(keys [][]byte, cfg Config) (*Filter, error) {
 		seeds:  make([]uint64, cfg.Groups),
 	}
 
-	// Partition keys by group.
-	grouped := make([][][]byte, cfg.Groups)
+	// Partition keys by group. The base hashes (hashes.Base) are computed
+	// once here and reused for both grouping and position derivation —
+	// the same hash-once structure the query path uses.
+	grouped := make([][]uint64, cfg.Groups)
 	for _, key := range keys {
-		g := f.group(key)
-		grouped[g] = append(grouped[g], key)
+		base := hashes.Base(key)
+		g := f.group(base)
+		grouped[g] = append(grouped[g], base)
 	}
 
 	// Greedy per-group seed selection: fewest newly set bits wins.
@@ -99,8 +102,8 @@ func New(keys [][]byte, cfg Config) (*Filter, error) {
 			seed := hashes.Mix64(uint64(g)<<32 | uint64(c) + 0x1234)
 			newBits := 0
 			seen := map[uint64]bool{}
-			for _, key := range members {
-				posBuf = f.positions(key, seed, posBuf[:0])
+			for _, base := range members {
+				posBuf = f.positions(base, seed, posBuf[:0])
 				for _, p := range posBuf {
 					if !f.bits.Test(p) && !seen[p] {
 						seen[p] = true
@@ -113,8 +116,8 @@ func New(keys [][]byte, cfg Config) (*Filter, error) {
 			}
 		}
 		f.seeds[g] = bestSeed
-		for _, key := range members {
-			posBuf = f.positions(key, bestSeed, posBuf[:0])
+		for _, base := range members {
+			posBuf = f.positions(base, bestSeed, posBuf[:0])
 			for _, p := range posBuf {
 				f.bits.Set(p)
 			}
@@ -123,14 +126,15 @@ func New(keys [][]byte, cfg Config) (*Filter, error) {
 	return f, nil
 }
 
-// group maps a key to its partition.
-func (f *Filter) group(key []byte) int {
-	return int(hashes.XXH64Seed(key, 0x9e3779b9) % uint64(f.groups))
+// group maps a base hash (hashes.Base of the key) to its partition.
+func (f *Filter) group(base uint64) int {
+	return int(hashes.Mix64(base^0x9e3779b9) % uint64(f.groups))
 }
 
-// positions derives the k bit positions of key under a group seed.
-func (f *Filter) positions(key []byte, seed uint64, dst []uint64) []uint64 {
-	h1, h2 := hashes.Split128(key, seed)
+// positions derives the k bit positions of a key's base hash under a
+// group seed, via double hashing over two Mix64-derived lanes.
+func (f *Filter) positions(base, seed uint64, dst []uint64) []uint64 {
+	h1, h2 := hashes.BaseLanes(base, seed)
 	m := f.bits.Len()
 	for i := 0; i < f.k; i++ {
 		dst = append(dst, hashes.Double(h1, h2, i)%m)
@@ -140,10 +144,18 @@ func (f *Filter) positions(key []byte, seed uint64, dst []uint64) []uint64 {
 
 // Contains reports whether key may be a member.
 func (f *Filter) Contains(key []byte) bool {
-	seed := f.seeds[f.group(key)]
-	var buf [32]uint64
-	for _, p := range f.positions(key, seed, buf[:0]) {
-		if !f.bits.Test(p) {
+	return f.ContainsHash(hashes.Base(key))
+}
+
+// ContainsHash is Contains for a precomputed base = hashes.Base(key).
+// Every probe position derives from the base, so prepared batch callers
+// skip the key bytes entirely.
+func (f *Filter) ContainsHash(base uint64) bool {
+	seed := f.seeds[f.group(base)]
+	h1, h2 := hashes.BaseLanes(base, seed)
+	m := f.bits.Len()
+	for i := 0; i < f.k; i++ {
+		if !f.bits.Test(hashes.Double(h1, h2, i) % m) {
 			return false
 		}
 	}

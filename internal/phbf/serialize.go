@@ -21,7 +21,11 @@ import (
 // array's payload offset is a pure function of the group count
 // (WireAlignOffset) and zero-copy container loads can align it.
 
-const filterVersion = 1
+// Version 2: probe positions derive from the shared base hash
+// (hashes.Base) instead of per-family key hashing. Version-1 containers
+// hold bits under the old derivation and must not be served by this
+// code, so decoding rejects them.
+const filterVersion = 2
 
 // wireMagic is the on-wire magic: "PHBF" as a little-endian u32.
 const wireMagic = uint32(0x46424850)

@@ -313,8 +313,40 @@ func (r *Router) ContainsBatch(keys [][]byte) ([]bool, error) {
 		chunks = 1
 	}
 	out := make([]bool, len(keys))
+	if err := r.containsBatchInto(out, keys, reps); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ContainsBatchInto is ContainsBatch writing into a caller-owned slice:
+// dst[i] answers keys[i], and len(dst) must be at least len(keys). On
+// error dst's contents are unspecified but the slice is never retained,
+// and no attempt keeps writing into it after return — losing hedges
+// fill pooled private buffers, never dst.
+func (r *Router) ContainsBatchInto(dst []bool, keys [][]byte) error {
+	if len(keys) == 0 {
+		return errors.New("router: empty batch")
+	}
+	reps := r.healthyReplicas()
+	if len(reps) == 0 {
+		return ErrNoReplicas
+	}
+	r.batches.Add(1)
+	r.keys.Add(uint64(len(keys)))
+	return r.containsBatchInto(dst[:len(keys)], keys, reps)
+}
+
+func (r *Router) containsBatchInto(out []bool, keys [][]byte, reps []*replica) error {
+	chunks := len(keys) / r.cfg.MinChunk
+	if chunks > len(reps) {
+		chunks = len(reps)
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
 	if chunks == 1 {
-		return out, r.runChunk(keys, out, reps)
+		return r.runChunk(keys, out, reps)
 	}
 
 	var wg sync.WaitGroup
@@ -334,32 +366,56 @@ func (r *Router) ContainsBatch(keys [][]byte) ([]bool, error) {
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return out, nil
+	return nil
 }
 
-// chunkResult carries one attempt's outcome back to the race.
+// chunkResult carries one attempt's outcome back to the race. out is a
+// pooled buffer the receiver owns once the result is read.
 type chunkResult struct {
 	rep *replica
-	out []bool
+	out *[]bool
 	err error
 }
+
+// attemptBufPool recycles per-attempt result buffers. An attempt owns
+// its buffer from Get until it sends the chunkResult; after that the
+// receiving runChunk owns it and puts it back. A buffer whose result is
+// never received (an attempt still in flight when runChunk returns)
+// falls to the GC with the buffered channel — correctness never depends
+// on reclaiming it.
+var attemptBufPool = sync.Pool{New: func() any { return new([]bool) }}
 
 // runChunk answers one chunk: primary attempt, hedge on the timer,
 // first arrival wins, failure ejects and retries elsewhere.
 func (r *Router) runChunk(keys [][]byte, out []bool, reps []*replica) error {
 	primary := reps[int(r.rr.Add(1)-1)%len(reps)]
-	// Each attempt fills a private buffer; only the winner is copied to
-	// out, so a losing hedge can never tear the caller's results.
+	// Each attempt fills a private pooled buffer; only the winner is
+	// copied to out, so a losing hedge can never tear the caller's
+	// results.
 	ch := make(chan chunkResult, 2)
 	attempt := func(rep *replica) {
-		buf := make([]bool, len(keys))
-		err := r.do(rep, keys, buf)
-		ch <- chunkResult{rep, buf, err}
+		pb := attemptBufPool.Get().(*[]bool)
+		if cap(*pb) < len(keys) {
+			*pb = make([]bool, len(keys))
+		}
+		err := r.do(rep, keys, (*pb)[:len(keys)])
+		ch <- chunkResult{rep, pb, err}
 	}
 	go attempt(primary)
+	// Reclaim buffers of results that arrived but lost the race.
+	defer func() {
+		for {
+			select {
+			case res := <-ch:
+				attemptBufPool.Put(res.out)
+			default:
+				return
+			}
+		}
+	}()
 
 	var hedgeC <-chan time.Time
 	if r.cfg.HedgeAfter > 0 && len(reps) > 1 {
@@ -382,6 +438,7 @@ func (r *Router) runChunk(keys [][]byte, out []bool, reps []*replica) error {
 		case res := <-ch:
 			outstanding--
 			if res.err != nil {
+				attemptBufPool.Put(res.out)
 				r.eject(res.rep, false, res.err)
 				if outstanding > 0 {
 					continue // the race partner may still answer
@@ -399,7 +456,8 @@ func (r *Router) runChunk(keys [][]byte, out []bool, reps []*replica) error {
 				}
 				return nil
 			}
-			copy(out, res.out)
+			copy(out, (*res.out)[:len(keys)])
+			attemptBufPool.Put(res.out)
 			if hedged && res.rep != primary {
 				r.hedgeWins.Add(1)
 			}

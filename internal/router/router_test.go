@@ -194,6 +194,57 @@ func TestRouterHedgesSlowReplica(t *testing.T) {
 	}
 }
 
+// TestRouterLosingHedgeCannotTearResults pins the private-buffer
+// guarantee of the pooled hedge path: after ContainsBatchInto returns,
+// the caller owns dst outright — the losing attempt, still in flight
+// against the slow replica, finishes into its own pooled buffer and
+// must never write into dst, even across several batches recycling
+// those buffers.
+func TestRouterLosingHedgeCannotTearResults(t *testing.T) {
+	f, keys := buildFilter(t, 64)
+	fastAddr, _ := startReplica(t, f, nil)
+	backendAddr, _ := startReplica(t, f, nil)
+	slowAddr := slowProxy(t, backendAddr, 200*time.Millisecond)
+
+	r, err := New(Config{
+		Replicas:   []string{slowAddr, fastAddr},
+		HedgeAfter: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer r.Close()
+
+	want := f.ContainsBatch(keys)
+	dst := make([]bool, len(keys))
+	for round := 0; round < 3; round++ {
+		// Poison dst so a stale non-write would be caught too.
+		for i := range dst {
+			dst[i] = !want[i]
+		}
+		if err := r.ContainsBatchInto(dst, keys); err != nil {
+			t.Fatalf("round %d: ContainsBatchInto: %v", round, err)
+		}
+		snap := append([]bool(nil), dst...)
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("round %d key %d: routed %v, local %v", round, i, dst[i], want[i])
+			}
+		}
+		// Let any losing attempt finish against the 200ms replica, then
+		// check it wrote nothing into the caller's slice.
+		time.Sleep(250 * time.Millisecond)
+		for i := range snap {
+			if dst[i] != snap[i] {
+				t.Fatalf("round %d: dst[%d] changed after return (losing hedge tore the result)", round, i)
+			}
+		}
+	}
+	if st := r.Stats(); st.Hedges < 1 {
+		t.Fatalf("no hedge fired (stats %+v)", st)
+	}
+}
+
 // TestRouterEjectsDeadReplicaAndReprobes kills one of two replicas,
 // checks the router keeps answering after ejecting it, then restarts
 // the replica on the same address and waits for the health loop to

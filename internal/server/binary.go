@@ -142,6 +142,10 @@ func (b *BinaryServer) handle(conn net.Conn) {
 	}
 
 	out := make([]byte, 0, 64)
+	// results is this connection's batch result buffer, regrown to the
+	// largest batch seen and reused across requests so a steady stream
+	// of OpContainsBatch frames allocates nothing.
+	var results []bool
 	var req wire.Request
 	for {
 		if err := dec.Next(&req); err != nil {
@@ -172,7 +176,11 @@ func (b *BinaryServer) handle(conn net.Conn) {
 			b.s.mBinContains.Inc()
 			b.s.hBinContains.ObserveDuration(time.Since(start))
 		case wire.OpContainsBatch:
-			results := b.s.Filter().ContainsBatch(req.Keys)
+			if cap(results) < len(req.Keys) {
+				results = make([]bool, len(req.Keys))
+			}
+			results = results[:len(req.Keys)]
+			b.s.Filter().ContainsBatchInto(results, req.Keys)
 			out = wire.AppendBatchResp(out[:0], req.ID, results)
 			b.s.mBinBatch.Inc()
 			b.s.mBatchKeys.Add(uint64(len(req.Keys)))

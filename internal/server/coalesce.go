@@ -14,6 +14,16 @@ type Batcher interface {
 	ContainsBatch(keys [][]byte) []bool
 }
 
+// BatcherInto is the allocation-free batch capability a Batcher may
+// additionally implement (as *habf.Sharded does): results land in a
+// caller-owned slice instead of a fresh one per batch. The coalescer
+// type-asserts for it once at construction and, when present, reuses a
+// per-dispatcher result buffer so steady-state dispatch allocates
+// nothing.
+type BatcherInto interface {
+	ContainsBatchInto(dst []bool, keys [][]byte)
+}
+
 // CoalesceConfig tunes the micro-batching layer.
 type CoalesceConfig struct {
 	// MaxBatch is the largest micro-batch dispatched at once. Default 256.
@@ -111,6 +121,7 @@ func (s CoalesceStats) MeanBatch() float64 {
 // quiet spell.
 type Coalescer struct {
 	b   Batcher
+	bi  BatcherInto // b's zero-alloc batch path, nil if unimplemented
 	cfg CoalesceConfig
 
 	reqs    chan *coalReq
@@ -131,8 +142,10 @@ type Coalescer struct {
 // Callers must Close the coalescer to release them.
 func NewCoalescer(b Batcher, cfg CoalesceConfig) *Coalescer {
 	cfg = cfg.withDefaults()
+	bi, _ := b.(BatcherInto)
 	c := &Coalescer{
 		b:   b,
+		bi:  bi,
 		cfg: cfg,
 		// Channel capacity covers several full batches so senders do not
 		// block while a dispatch is executing.
@@ -207,7 +220,10 @@ func (c *Coalescer) dispatch() {
 	var (
 		keys  = make([][]byte, 0, c.cfg.MaxBatch)
 		batch = make([]*coalReq, 0, c.cfg.MaxBatch)
-		timer = time.NewTimer(time.Hour)
+		// resbuf is this dispatcher's result buffer for the BatcherInto
+		// path; batches never exceed MaxBatch, so it never regrows.
+		resbuf = make([]bool, c.cfg.MaxBatch)
+		timer  = time.NewTimer(time.Hour)
 		// lonely is the linger-off switch: set when a linger gained no
 		// company, cleared whenever a batch gathers more than one
 		// request. Starting optimistic (false) lets the very first
@@ -273,7 +289,16 @@ func (c *Coalescer) dispatch() {
 			lonely = false
 		}
 
-		results := c.b.ContainsBatch(keys)
+		var results []bool
+		if c.bi != nil {
+			if cap(resbuf) < len(keys) {
+				resbuf = make([]bool, len(keys))
+			}
+			results = resbuf[:len(keys)]
+			c.bi.ContainsBatchInto(results, keys)
+		} else {
+			results = c.b.ContainsBatch(keys)
+		}
 		for i, r := range batch {
 			r.res <- results[i]
 			// Release the key and request references now: the scratch

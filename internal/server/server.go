@@ -236,8 +236,11 @@ func (s *Server) Metrics() *metrics.Registry { return s.reg }
 // Batcher interface: every dispatch resolves the filter at call time.
 type serverBatcher struct{ s *Server }
 
-func (b serverBatcher) Contains(key []byte) bool          { return b.s.Filter().Contains(key) }
+func (b serverBatcher) Contains(key []byte) bool           { return b.s.Filter().Contains(key) }
 func (b serverBatcher) ContainsBatch(keys [][]byte) []bool { return b.s.Filter().ContainsBatch(keys) }
+func (b serverBatcher) ContainsBatchInto(dst []bool, keys [][]byte) {
+	b.s.Filter().ContainsBatchInto(dst, keys)
+}
 
 // Coalescer exposes the coalescing layer (stats, direct benchmarking).
 func (s *Server) Coalescer() *Coalescer { return s.co }
@@ -395,12 +398,26 @@ func (s *Server) handleContainsBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	present := s.Filter().ContainsBatch(req.Keys)
+	pb := resultBufPool.Get().(*[]bool)
+	if cap(*pb) < len(req.Keys) {
+		*pb = make([]bool, len(req.Keys))
+	}
+	present := (*pb)[:len(req.Keys)]
+	s.Filter().ContainsBatchInto(present, req.Keys)
 	s.mContainsBatch.Inc()
 	s.mBatchKeys.Add(uint64(len(req.Keys)))
 	s.hBatchSize.Observe(float64(len(req.Keys)))
 	s.writeJSON(w, map[string][]bool{"present": present})
+	// writeJSON is synchronous, so the buffer is free again here. The
+	// pool holds *[]bool and the same pointer rides back in, keeping the
+	// round trip allocation-free.
+	resultBufPool.Put(pb)
 }
+
+// resultBufPool recycles batch result slices across HTTP requests. A
+// buffer is owned from Get to Put; nothing may retain it past the
+// response write.
+var resultBufPool = sync.Pool{New: func() any { return new([]bool) }}
 
 func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {

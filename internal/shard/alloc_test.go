@@ -1,0 +1,152 @@
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestContainsBatchIntoZeroAllocs pins the zero-alloc contract of the
+// batch read path: once the scratch pool is warm, a ContainsBatchInto
+// with a caller-owned destination allocates nothing — across every
+// backend, prepared (base-hash) or not.
+func TestContainsBatchIntoZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; run without -race for alloc counts")
+	}
+	// Force multicore dispatch so the worker-spawning path is the one
+	// measured: spawned workers must reuse dead goroutines, not allocate.
+	// batchCPUs is forced too so the workers spawn even on a 1-CPU host.
+	prev := runtime.GOMAXPROCS(4)
+	prevCPUs := batchCPUs
+	batchCPUs = 4
+	defer func() {
+		runtime.GOMAXPROCS(prev)
+		batchCPUs = prevCPUs
+	}()
+	for _, backend := range []string{"habf", "bloom", "xor", "wbf", "phbf"} {
+		t.Run(backend, func(t *testing.T) {
+			s, pos, negKeys := newSet(t, 2048, Config{Shards: 8, Backend: backend})
+			batch := make([][]byte, 0, 256)
+			for i := 0; i < 128; i++ {
+				batch = append(batch, pos[i*7%len(pos)], negKeys[i*11%len(negKeys)])
+			}
+			dst := make([]bool, len(batch))
+			// Warm the scratch pool and the runtime's dead-g list (the
+			// first few batches may grow both).
+			for i := 0; i < 8; i++ {
+				s.ContainsBatchInto(dst, batch)
+			}
+			avg := testing.AllocsPerRun(50, func() {
+				s.ContainsBatchInto(dst, batch)
+			})
+			if avg != 0 {
+				t.Errorf("%s: ContainsBatchInto allocates %.1f objects per batch, want 0", backend, avg)
+			}
+		})
+	}
+}
+
+// TestContainsBatchIntoZeroAllocsSeeded64 covers the prepared bloom
+// strategy specifically: seeded64 is the one bloom flavour that derives
+// every probe from the shared base hash, so the fast path (hashes
+// forwarded to the backend) must also stay allocation-free.
+func TestContainsBatchIntoZeroAllocsSeeded64(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; run without -race for alloc counts")
+	}
+	s, pos, negKeys := newSet(t, 2048, Config{Shards: 8, Backend: "bloom", Tuning: "strategy=seeded64"})
+	batch := append(append([][]byte{}, pos[:128]...), negKeys[:128]...)
+	dst := make([]bool, len(batch))
+	s.ContainsBatchInto(dst, batch)
+	if avg := testing.AllocsPerRun(50, func() {
+		s.ContainsBatchInto(dst, batch)
+	}); avg != 0 {
+		t.Errorf("seeded64: ContainsBatchInto allocates %.1f objects per batch, want 0", avg)
+	}
+}
+
+// TestBatchDispatchTorture drives the worker-pool dispatch under -race
+// with everything it must coexist with: concurrent Adds (write locks on
+// single shards), background rebuild swaps (write locks plus filter
+// replacement), and parallel batches sharing the scratch pool. GOMAXPROCS
+// and batchCPUs are forced above one so extra batch workers actually
+// spawn even on a single-core CI host.
+func TestBatchDispatchTorture(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	prevCPUs := batchCPUs
+	batchCPUs = 4
+	defer func() {
+		runtime.GOMAXPROCS(prev)
+		batchCPUs = prevCPUs
+	}()
+
+	s, pos, negKeys := newSet(t, 4096, Config{Shards: 8})
+	batch := make([][]byte, 0, 512)
+	for i := 0; i < 256; i++ {
+		batch = append(batch, pos[i*5%len(pos)], negKeys[i*3%len(negKeys)])
+	}
+	want := make([]bool, len(batch))
+	for i, key := range batch {
+		want[i] = s.Contains(key)
+	}
+
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	// Writers: concurrent Adds of fresh keys (never probed, so the
+	// readers' expected answers stay stable).
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.Add([]byte(fmt.Sprintf("torture-add-%d-%06d", w, i)))
+			}
+		}(w)
+	}
+	// Readers: parallel batches racing the writers and each other. Adds
+	// of unrelated keys and rebuild swaps must never flip an existing
+	// key's answer from member to non-member.
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			dst := make([]bool, len(batch))
+			for n := 0; n < 200; n++ {
+				s.ContainsBatchInto(dst, batch)
+				for i := range want {
+					if want[i] && !dst[i] {
+						t.Errorf("iteration %d: member %q answered false during torture", n, batch[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	// One round of per-key queries mixed in, exercising the non-batch
+	// read lock path against the same writers.
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for n := 0; n < 2000; n++ {
+			i := n % len(batch)
+			if got := s.Contains(batch[i]); want[i] && !got {
+				t.Errorf("per-key: member %q answered false during torture", batch[i])
+				return
+			}
+		}
+	}()
+
+	// Let readers finish, then stop the writers and wait for any rebuild
+	// the Adds kicked off.
+	readers.Wait()
+	close(stop)
+	writers.Wait()
+	s.WaitRebuilds()
+}

@@ -15,12 +15,16 @@
 // on a restored set with no key list to rebuild from, until a snapshot
 // persists them through the container's pending-keys frame).
 //
-// Keys are routed by fingerprint prefix: the top bits of an independent
-// 64-bit key hash select the shard, so the per-shard positive and
+// Keys are routed by fingerprint prefix: the top bits of the shared base
+// hash (hashes.Base) select the shard, so the per-shard positive and
 // negative sets are disjoint and every query touches exactly one shard.
-// The routing hash is seeded independently of the per-shard hash
-// families, keeping shard membership uncorrelated with in-shard bit
-// positions.
+// The same base hash is handed to backends implementing
+// filtercore.PreparedQuerier, which re-derive their probe positions from
+// it through Mix64 dispersal — full-avalanche and bijective, so in-shard
+// bit positions stay uncorrelated with the top bits routing consumed.
+// Sets restored from snapshots keep whatever route seed their snapshot
+// recorded; when it is not the global BaseSeed, batches still group and
+// dispatch per shard but backends re-hash keys themselves.
 //
 // Unlike a bare filter — whose Add must be externally synchronized
 // against readers — a Set is safe for fully concurrent use: any number of
@@ -31,6 +35,7 @@ package shard
 import (
 	"fmt"
 	"math/bits"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -91,6 +96,7 @@ type Set struct {
 	tuningStr   string            // canonical form of tuning, cached
 	absorbEvery int               // "absorb" knob: restored-shard pending threshold
 	bitsPerKey  float64
+	scratchPool sync.Pool // *batchScratch, reused across ContainsBatchInto calls
 	rebuilds    atomic.Uint64
 	rebuildErrs atomic.Uint64
 	absorbs     atomic.Uint64
@@ -126,7 +132,7 @@ type shard struct {
 	// consult it after the filter, preserving zero false negatives; a
 	// rebuild absorbs it. Invariant under mu: every key in positives is
 	// either represented by f or present in pending.
-	pending  map[string]struct{}
+	pending map[string]struct{}
 	// sidecar is a mutable overlay a restored static shard absorbs its
 	// pending keys into once they cross the absorb threshold: built over
 	// the full in-memory positives (a superset of pending), so the
@@ -197,7 +203,7 @@ func New(positives [][]byte, negatives []habf.WeightedKey, cfg Config) (*Set, er
 	s := &Set{
 		shards:      make([]*shard, n),
 		shift:       uint(64 - bits.TrailingZeros(uint(n))),
-		routeSeed:   uint64(params.Seed)*0x2545f4914f6cdd1d + 0x9e3779b97f4a7c15,
+		routeSeed:   hashes.BaseSeed,
 		threshold:   threshold,
 		baseParams:  params,
 		backend:     backend,
@@ -303,7 +309,19 @@ func perturbSeed(base int64, i int) int64 {
 // route returns the shard index for a key: the top log2(N) bits of an
 // independent fingerprint.
 func (s *Set) route(key []byte) int {
-	return int(hashes.XXH64Seed(key, s.routeSeed) >> s.shift)
+	return int(s.routeHash(key) >> s.shift)
+}
+
+// routeHash is the full 64-bit routing fingerprint of a key: the shared
+// base hash (hashes.Base) on sets routed under the global BaseSeed — every
+// set built by New — and the legacy xx64 construction on sets restored
+// from snapshots that recorded an older route seed, whose shard
+// assignments were fixed when those snapshots were written.
+func (s *Set) routeHash(key []byte) uint64 {
+	if s.routeSeed == hashes.BaseSeed {
+		return hashes.Base(key)
+	}
+	return hashes.XXH64Seed(key, s.routeSeed)
 }
 
 // build constructs the shard's filter over the given keys with a budget
@@ -371,89 +389,258 @@ func (s *Set) Contains(key []byte) bool {
 	return ok
 }
 
-// batchChunk bounds the stack scratch used to group a batch by shard.
-// Larger batches are processed in chunks of this size.
-const batchChunk = 512
-
-// ContainsBatch answers one result per key, in order. Each shard's read
-// lock is taken once per chunk of keys (not once per key) and the whole
-// chunk shares one scratch buffer, so the per-key cost drops to routing
-// plus the raw two-round query. The only heap allocation is the result
-// slice.
+// ContainsBatch answers one result per key, in order. It is
+// ContainsBatchInto with a freshly allocated result slice; batch callers
+// that care about steady-state allocations should pool the destination
+// and call ContainsBatchInto directly.
 func (s *Set) ContainsBatch(keys [][]byte) []bool {
 	out := make([]bool, len(keys))
-	for lo := 0; lo < len(keys); lo += batchChunk {
-		hi := lo + batchChunk
-		if hi > len(keys) {
-			hi = len(keys)
-		}
-		s.containsChunk(out[lo:hi], keys[lo:hi])
-	}
+	s.ContainsBatchInto(out, keys)
 	return out
 }
 
-// maxChunkLocks bounds how many shard read locks one chunk holds at
-// once; wider sets (implausible for a single process) fall back to
-// per-key locking.
-const maxChunkLocks = 64
+// minKeysPerWorker is the smallest sub-batch workload that justifies an
+// extra worker goroutine: below it, spawn cost eats the parallel win.
+const minKeysPerWorker = 64
 
-// scratchQuerier is the allocation-free query form HABF backends expose;
-// the chunk path uses it when available to reuse one scratch buffer
-// across the whole chunk.
-type scratchQuerier interface {
-	ContainsScratch(key []byte, scratch []uint8) bool
+// batchCPUs caps batch workers at the hardware parallelism actually
+// available. GOMAXPROCS above NumCPU (common in container benchmarks and
+// -cpu sweeps) cannot make sub-batches run concurrently — extra workers
+// would only add spawn and context-switch cost — so the dispatch sizes
+// itself by min(GOMAXPROCS, batchCPUs). A variable so dispatch tests on
+// single-core hosts can force the multi-worker path.
+var batchCPUs = runtime.NumCPU()
+
+// batchScratch is the pooled per-batch working set of ContainsBatchInto.
+// Ownership rule: a scratch belongs to exactly one batch call from Get to
+// Put; worker goroutines borrow disjoint slices of it and must not touch
+// it after their final wg.Done. Key references are cleared before Put so
+// the pool never pins caller memory.
+type batchScratch struct {
+	hashes  []uint64 // base hash per key index
+	starts  []int32  // per-shard slot ranges: shard id covers [starts[id], starts[id+1])
+	fill    []int32  // gather cursors, starts[:nshards] copied then advanced
+	order   []int32  // ids of shards with at least one key, ascending
+	perm    []int32  // slot -> original key index
+	gkeys   [][]byte // keys grouped by shard, slot-indexed
+	ghashes []uint64 // base hashes grouped by shard, slot-indexed
+	results []bool   // per-slot answers, scattered to dst via perm
+	job     batchJob // embedded so a batch spawns workers without allocating
 }
 
-// containsChunk evaluates up to batchChunk keys under one lock round:
-// every shard's read lock is taken once, in ascending order, and the
-// whole chunk is evaluated with cached filter pointers and one reused
-// scratch buffer. Writers (Add, rebuild swaps) each hold exactly one
-// shard lock, so readers acquiring the full ascending sequence cannot
-// deadlock against them; they are delayed by at most one chunk.
-func (s *Set) containsChunk(out []bool, keys [][]byte) {
-	n := len(s.shards)
-	if n > maxChunkLocks || len(keys) < n {
+// batchJob is the shared state worker goroutines pull shard sub-batches
+// from: an atomic cursor over sc.order. It lives inside batchScratch so
+// steady-state batches allocate nothing.
+type batchJob struct {
+	s      *Set
+	out    []bool
+	sc     *batchScratch
+	hv     []uint64 // sc.ghashes when base hashes are valid for backends, else nil
+	cursor atomic.Int32
+	wg     sync.WaitGroup
+}
+
+// getScratch returns a pooled scratch sized for n keys.
+func (s *Set) getScratch(n int) *batchScratch {
+	sc, _ := s.scratchPool.Get().(*batchScratch)
+	if sc == nil {
+		sc = &batchScratch{}
+	}
+	if cap(sc.hashes) < n {
+		sc.hashes = make([]uint64, n)
+		sc.ghashes = make([]uint64, n)
+		sc.gkeys = make([][]byte, n)
+		sc.perm = make([]int32, n)
+		sc.results = make([]bool, n)
+	}
+	sc.hashes = sc.hashes[:n]
+	sc.ghashes = sc.ghashes[:n]
+	sc.gkeys = sc.gkeys[:n]
+	sc.perm = sc.perm[:n]
+	sc.results = sc.results[:n]
+	nsh := len(s.shards)
+	if len(sc.starts) != nsh+1 {
+		sc.starts = make([]int32, nsh+1)
+		sc.fill = make([]int32, nsh)
+		sc.order = make([]int32, 0, nsh)
+	}
+	clear(sc.starts)
+	return sc
+}
+
+// putScratch returns a scratch to the pool, dropping every reference to
+// caller memory (keys, destination) so pooling never extends lifetimes.
+func (s *Set) putScratch(sc *batchScratch) {
+	clear(sc.gkeys)
+	sc.job.s, sc.job.out, sc.job.sc, sc.job.hv = nil, nil, nil, nil
+	s.scratchPool.Put(sc)
+}
+
+// ContainsBatchInto writes Contains(keys[i]) into dst[i] for every key.
+// dst must have at least len(keys) elements; extra elements are left
+// untouched. Steady state allocates nothing: the grouping scratch is
+// pooled per Set and worker goroutines are spawned arg-only.
+//
+// The pipeline hashes each key exactly once (hashes.Base doubles as the
+// routing fingerprint and, for PreparedQuerier backends, the probe-
+// position source), groups keys by destination shard with a counting
+// sort, and runs per-shard sub-batches on up to GOMAXPROCS workers. A
+// worker holds exactly one shard read lock at a time — same as Add and
+// the rebuild swap on the write side — so the lock graph stays trivially
+// acyclic and writers are delayed by at most one sub-batch. Each
+// sub-batch walks one shard's memory start to finish, which is also the
+// cache-friendly order single-core.
+func (s *Set) ContainsBatchInto(dst []bool, keys [][]byte) {
+	n := len(keys)
+	if n == 0 {
+		return
+	}
+	if n < len(s.shards) || n > 1<<30 {
 		// Degenerate batches (fewer keys than shards) would pay more for
-		// the lock round than per-key locking costs; route individually.
+		// grouping than per-key routing costs; absurdly large ones would
+		// overflow the int32 slot indices. Route individually.
 		for i, key := range keys {
-			out[i] = s.Contains(key)
+			dst[i] = s.Contains(key)
 		}
 		return
 	}
+	sc := s.getScratch(n)
 
-	var filters [maxChunkLocks]filtercore.Backend
-	var scratchers [maxChunkLocks]scratchQuerier
-	var sidecars [maxChunkLocks]filtercore.Backend
-	var pendings [maxChunkLocks]map[string]struct{}
-	for id := 0; id < n; id++ {
-		s.shards[id].mu.RLock()
-		filters[id] = s.shards[id].f
-		if sq, ok := filters[id].(scratchQuerier); ok {
-			scratchers[id] = sq
-		}
-		sidecars[id] = s.shards[id].sidecar
-		pendings[id] = s.shards[id].pending
-	}
-	var buf [32]uint8
+	// Pass 1: hash every key once; count keys per shard in starts[id+1].
+	shift := s.shift
 	for i, key := range keys {
-		id := s.route(key)
-		var ok bool
-		switch {
-		case scratchers[id] != nil:
-			ok = scratchers[id].ContainsScratch(key, buf[:0])
-		case filters[id] != nil:
-			ok = filters[id].Contains(key)
-		}
-		if !ok && sidecars[id] != nil {
-			ok = sidecars[id].Contains(key)
-		}
-		if !ok && pendings[id] != nil {
-			_, ok = pendings[id][string(key)]
-		}
-		out[i] = ok
+		h := s.routeHash(key)
+		sc.hashes[i] = h
+		sc.starts[(h>>shift)+1]++
 	}
-	for id := 0; id < n; id++ {
-		s.shards[id].mu.RUnlock()
+
+	// Prefix-sum the counts into slot ranges; list the non-empty shards.
+	order := sc.order[:0]
+	for id := range s.shards {
+		c := sc.starts[id+1]
+		sc.starts[id+1] = sc.starts[id] + c
+		sc.fill[id] = sc.starts[id]
+		if c > 0 {
+			order = append(order, int32(id))
+		}
+	}
+	sc.order = order
+
+	// Pass 2: gather keys and hashes into shard-contiguous slots.
+	for i, key := range keys {
+		id := sc.hashes[i] >> shift
+		slot := sc.fill[id]
+		sc.fill[id] = slot + 1
+		sc.gkeys[slot] = key
+		sc.ghashes[slot] = sc.hashes[i]
+		sc.perm[slot] = int32(i)
+	}
+
+	// Execute shard sub-batches, stealing from the shared cursor. The
+	// caller is worker zero; extra workers are spawned only when both the
+	// host (GOMAXPROCS) and the workload (≥ minKeysPerWorker keys each)
+	// justify them. Base hashes are handed to backends only when routing
+	// runs under the global BaseSeed — a Set restored from a snapshot
+	// with a legacy route seed still groups and batches, but its hash
+	// values are not hashes.Base and backends must re-hash.
+	job := &sc.job
+	job.s, job.out, job.sc = s, dst, sc
+	job.hv = nil
+	if s.routeSeed == hashes.BaseSeed {
+		job.hv = sc.ghashes
+	}
+	job.cursor.Store(0)
+	w := runtime.GOMAXPROCS(0)
+	if w > batchCPUs {
+		w = batchCPUs
+	}
+	if w > len(order) {
+		w = len(order)
+	}
+	if byWork := 1 + n/minKeysPerWorker; w > byWork {
+		w = byWork
+	}
+	if w > 1 {
+		job.wg.Add(w - 1)
+		for i := 1; i < w; i++ {
+			go batchWorker(job)
+		}
+	}
+	job.run()
+	if w > 1 {
+		job.wg.Wait()
+	}
+	s.putScratch(sc)
+}
+
+// batchWorker is the spawn target of extra batch workers. A package-level
+// function taking the job pointer keeps the go statement closure-free
+// (and therefore allocation-free); its last action is wg.Done, after
+// which it never touches the job again, so the caller's Wait-then-Put is
+// safe.
+func batchWorker(j *batchJob) {
+	j.run()
+	j.wg.Done()
+}
+
+// run claims shard sub-batches off the cursor until none remain.
+func (j *batchJob) run() {
+	sc := j.sc
+	for {
+		t := j.cursor.Add(1) - 1
+		if int(t) >= len(sc.order) {
+			return
+		}
+		id := sc.order[t]
+		j.s.shards[id].containsSub(j, int(sc.starts[id]), int(sc.starts[id+1]))
+	}
+}
+
+// containsSub answers one shard's slice of the batch under a single read
+// lock: backend sub-batch first (the PreparedQuerier form when available,
+// with base hashes when valid), then the sidecar/pending overlay for the
+// misses — the same filter → sidecar → pending order as Contains — and
+// finally the scatter back to the caller's dst through the slot
+// permutation. Slots of distinct shards are disjoint, so workers write
+// disjoint dst elements.
+func (sh *shard) containsSub(j *batchJob, lo, hi int) {
+	sc := j.sc
+	keys := sc.gkeys[lo:hi]
+	res := sc.results[lo:hi]
+	sh.mu.RLock()
+	switch f := sh.f.(type) {
+	case filtercore.PreparedQuerier:
+		var hv []uint64
+		if j.hv != nil {
+			hv = j.hv[lo:hi]
+		}
+		f.ContainsBatchInto(res, keys, hv)
+	case nil:
+		for i := range res {
+			res[i] = false // scratch may hold a previous batch's answers
+		}
+	default:
+		for i, key := range keys {
+			res[i] = f.Contains(key)
+		}
+	}
+	if sh.sidecar != nil || len(sh.pending) > 0 {
+		for i, ok := range res {
+			if ok {
+				continue
+			}
+			if sh.sidecar != nil {
+				ok = sh.sidecar.Contains(keys[i])
+			}
+			if !ok && sh.pending != nil {
+				_, ok = sh.pending[string(keys[i])]
+			}
+			res[i] = ok
+		}
+	}
+	sh.mu.RUnlock()
+	for i := lo; i < hi; i++ {
+		j.out[sc.perm[i]] = sc.results[i]
 	}
 }
 

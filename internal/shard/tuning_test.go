@@ -181,15 +181,26 @@ func TestAbsorbDisabledKeepsPending(t *testing.T) {
 	requireBackend(t, "xor")
 	s, _, _ := newSet(t, 600, Config{Shards: 2, Backend: "xor", Tuning: "absorb=0"})
 	g := snapshotRoundtrip(t, s)
+	// A fresh key that happens to be a false positive of the static
+	// filter is served by the filter and never buffered, so the expected
+	// pending count is the adds the filter did not already claim.
+	want := 0
 	for i := 0; i < 200; i++ {
-		g.Add([]byte(fmt.Sprintf("no-absorb-%06d", i)))
+		key := []byte(fmt.Sprintf("no-absorb-%06d", i))
+		if !g.Contains(key) {
+			want++
+		}
+		g.Add(key)
 	}
 	g.WaitRebuilds()
 	st := g.Stats()
 	if st.Absorbs != 0 {
 		t.Fatalf("absorb=0 still absorbed %d times", st.Absorbs)
 	}
-	if st.Pending != 200 {
-		t.Fatalf("pending = %d, want 200 with absorbs disabled", st.Pending)
+	if want < 190 {
+		t.Fatalf("only %d of 200 fresh keys missed the filter — FP rate implausibly high", want)
+	}
+	if st.Pending != uint64(want) {
+		t.Fatalf("pending = %d, want %d with absorbs disabled", st.Pending, want)
 	}
 }

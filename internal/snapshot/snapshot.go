@@ -18,8 +18,17 @@
 // the byte must refuse to decode the frames rather than misparse them.
 //
 //	frames (shardCount, in shard order):
-//	  epoch u64 | payloadLen u64 | payloadCRC u32 (CRC32C) | padLen u32 |
+//	  epoch u64 | payloadLen u64 | frameCRC u32 (CRC32C) | padLen u32 |
 //	  padLen zero bytes | payload
+//
+// In version 2 (current) frameCRC covers the whole frame except the CRC
+// field itself: epoch, payloadLen, padLen, the pad bytes and the
+// payload, in file order. Version 1 checksummed only the payload, which
+// left the epoch and pad bytes as the container's one integrity blind
+// spot — a bit flip there decoded cleanly. Version-1 containers are
+// still accepted (with the payload-only coverage they were written
+// under) so existing checkpoints keep loading.
+//
 //	tuning frame (optional, only when the flagTuning header bit is
 //	set): one more frame in the same envelope whose payload is the
 //	backend's canonical tuning string ("k=v,k=v", sorted knob names) in
@@ -61,8 +70,14 @@ import (
 )
 
 const (
-	// Version is the current container format version.
-	Version = 1
+	// Version is the current container format version. Version 2 widened
+	// the frame CRC to cover the frame header and pad bytes (version 1
+	// checksummed only the payload); version-1 containers still load.
+	Version = 2
+
+	// versionPayloadCRC is the last version whose frame CRC covered only
+	// the payload bytes.
+	versionPayloadCRC = 1
 
 	magic     = uint32(0x504e5348) // "HSNP" little-endian
 	tailMagic = uint32(0x48534e50) // "PNSH" little-endian
@@ -306,14 +321,20 @@ func (sw *Writer) writeFrame(fr Frame) error {
 	payloadOff := sw.written + frameHdrSize
 	padLen := int((8 - (payloadOff+int64(fr.Align))%8) % 8)
 	var hdr [frameHdrSize]byte
+	var pad [8]byte
 	binary.LittleEndian.PutUint64(hdr[0:8], fr.Epoch)
 	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(fr.Payload)))
-	binary.LittleEndian.PutUint32(hdr[16:20], crc32.Checksum(fr.Payload, castagnoli))
 	binary.LittleEndian.PutUint32(hdr[20:24], uint32(padLen))
+	// Version-2 frame CRC: everything in the frame except the CRC field
+	// itself, in file order, so no frame byte is an integrity blind spot.
+	crc := crc32.Update(0, castagnoli, hdr[0:16])
+	crc = crc32.Update(crc, castagnoli, hdr[20:24])
+	crc = crc32.Update(crc, castagnoli, pad[:padLen])
+	crc = crc32.Update(crc, castagnoli, fr.Payload)
+	binary.LittleEndian.PutUint32(hdr[16:20], crc)
 	if err := sw.emit(hdr[:]); err != nil {
 		return err
 	}
-	var pad [8]byte
 	if err := sw.emit(pad[:padLen]); err != nil {
 		return err
 	}
@@ -414,8 +435,9 @@ func Unmarshal(data []byte) (*Snapshot, error) {
 	if binary.LittleEndian.Uint32(data[0:4]) != magic {
 		return nil, errors.New("snapshot: bad magic")
 	}
-	if data[4] != Version {
-		return nil, fmt.Errorf("snapshot: unsupported version %d", data[4])
+	version := data[4]
+	if version == 0 || version > Version {
+		return nil, fmt.Errorf("snapshot: unsupported version %d", version)
 	}
 	if got, want := crc32.Checksum(data[:60], castagnoli), binary.LittleEndian.Uint32(data[60:64]); got != want {
 		return nil, fmt.Errorf("snapshot: header CRC mismatch (%08x != %08x)", got, want)
@@ -503,7 +525,16 @@ func Unmarshal(data []byte) (*Snapshot, error) {
 			return nil, fmt.Errorf("snapshot: frame %d payload out of bounds", i)
 		}
 		payload := data[start : start+payloadLen]
-		if got := crc32.Checksum(payload, castagnoli); got != wantCRC {
+		var got uint32
+		if version <= versionPayloadCRC {
+			got = crc32.Checksum(payload, castagnoli)
+		} else {
+			got = crc32.Update(0, castagnoli, hdr[0:16])
+			got = crc32.Update(got, castagnoli, hdr[20:24])
+			got = crc32.Update(got, castagnoli, data[off+frameHdrSize:start])
+			got = crc32.Update(got, castagnoli, payload)
+		}
+		if got != wantCRC {
 			return nil, fmt.Errorf("snapshot: frame %d CRC mismatch (%08x != %08x)", i, got, wantCRC)
 		}
 		s.Frames[i] = Frame{Epoch: epoch, Payload: payload}

@@ -138,6 +138,10 @@ func TestContainerRejectsCorruption(t *testing.T) {
 		"payload bitrot": mut(func(b []byte) {
 			b[64+24+10] ^= 0x80 // inside frame 0's payload
 		}),
+		// The version-2 frame CRC covers the frame header and pad bytes
+		// too — version 1's integrity blind spot.
+		"epoch bitrot":  mut(func(b []byte) { b[64+3] ^= 0x01 }),
+		"pad bitrot":    mut(func(b []byte) { b[64+24] ^= 0x01 }), // frame 0 pad (Align 4 → 4 pad bytes)
 		"footer bitrot": mut(func(b []byte) { b[len(b)-20] ^= 0x01 }),
 		"shard count 0": mut(func(b []byte) {
 			b[52], b[53], b[54], b[55] = 0, 0, 0, 0
@@ -180,14 +184,42 @@ func TestGoldenContainer(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := hex.EncodeToString(data)
-	const want = "48534e50010003040100000000000000fecaefbeadde0000000000000000d03f0000000000002840" +
-		"7b14ae47e17a943f010000000200000000000000635ab8ef05000000000000000600000000000000" +
-		"2b216b4206000000000000000000676f6c64656e0000000000000000000000000000000000000000" +
+	const want = "48534e50020003040100000000000000fecaefbeadde0000000000000000d03f0000000000002840" +
+		"7b14ae47e17a943f0100000002000000000000009a4a8b4805000000000000000600000000000000" +
+		"3d2d89e006000000000000000000676f6c64656e00000000000000000000000000000000836ee6a5" +
 		"0400000000000000400000000000000064000000000000008000000000000000edd95e1f504e5348"
 	if got != want {
 		t.Errorf("golden container drifted:\n got  %s\n want %s", got, want)
 	}
 	if _, err := snapshot.Unmarshal(data); err != nil {
 		t.Fatalf("golden container does not decode: %v", err)
+	}
+}
+
+// TestGoldenContainerVersion1 pins backward compatibility: the version-1
+// rendering of the same snapshot (payload-only frame CRCs) must keep
+// decoding to identical contents, or existing checkpoints stop loading.
+func TestGoldenContainerVersion1(t *testing.T) {
+	const v1 = "48534e50010003040100000000000000fecaefbeadde0000000000000000d03f0000000000002840" +
+		"7b14ae47e17a943f010000000200000000000000635ab8ef05000000000000000600000000000000" +
+		"2b216b4206000000000000000000676f6c64656e0000000000000000000000000000000000000000" +
+		"0400000000000000400000000000000064000000000000008000000000000000edd95e1f504e5348"
+	data, err := hex.DecodeString(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := snapshot.Unmarshal(data)
+	if err != nil {
+		t.Fatalf("version-1 container does not decode: %v", err)
+	}
+	if g.Meta.RouteSeed != 0xdeadbeefcafe || g.Frames[0].Epoch != 5 ||
+		string(g.Frames[0].Payload) != "golden" {
+		t.Fatalf("version-1 container decoded wrong contents: %+v", g.Meta)
+	}
+	// Version-1 payload corruption is still caught by the payload CRC.
+	bad := append([]byte(nil), data...)
+	bad[64+24+6+2] ^= 0x01 // a payload byte of frame 0 (after the 6-byte pad)
+	if _, err := snapshot.Unmarshal(bad); err == nil {
+		t.Fatal("version-1 payload corruption accepted")
 	}
 }

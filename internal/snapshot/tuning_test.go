@@ -147,10 +147,10 @@ func TestGoldenContainerWithTuning(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := hex.EncodeToString(data)
-	const want = "48534e50012003040100000000000000fecaefbeadde0000000000000000d03f0000000000002840" +
-		"7b14ae47e17a943f010000000200000000000000686258ce05000000000000000600000000000000" +
-		"2b216b4206000000000000000000676f6c64656e0000000000000000000000000000000000000000" +
-		"040000000000000000000000000000000700000000000000ebcf808d0000000077696474683d3940" +
+	const want = "48534e50022003040100000000000000fecaefbeadde0000000000000000d03f0000000000002840" +
+		"7b14ae47e17a943f01000000020000000000000091726b6905000000000000000600000000000000" +
+		"3d2d89e006000000000000000000676f6c64656e00000000000000000000000000000000836ee6a5" +
+		"04000000000000000000000000000000070000000000000057068ef10000000077696474683d3940" +
 		"00000000000000640000000000000080000000000000009f00000000000000104dce9d504e5348"
 	if got != want {
 		t.Errorf("golden tuned container drifted:\n got  %s\n want %s", got, want)

@@ -29,7 +29,11 @@ import (
 // marshal → unmarshal → re-marshal is byte-identical — the invariant
 // the cross-backend property suite pins for every wire format.
 
-const filterVersion = 1
+// Version 2: probe positions derive from the shared base hash
+// (hashes.Base) instead of per-family key hashing. Version-1 containers
+// hold bits under the old derivation and must not be served by this
+// code, so decoding rejects them.
+const filterVersion = 2
 
 // wireMagic is the on-wire magic: "WBFF" as a little-endian u32.
 const wireMagic = uint32(0x46464257)

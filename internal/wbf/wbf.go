@@ -167,9 +167,10 @@ func (f *Filter) kFor(cost float64) int {
 
 // positions computes the first k bit positions of key via seeded double
 // hashing (WBF needs a k that varies per key, so per-function corpora do
-// not apply).
+// not apply). The two lanes derive from the shared base hash
+// (hashes.Base), so prepared batch callers can skip re-reading key bytes.
 func (f *Filter) positions(key []byte, k int, dst []uint64) []uint64 {
-	h1, h2 := hashes.Split128(key, 0x5bd1e995)
+	h1, h2 := hashes.BaseLanes(hashes.Base(key), 0x5bd1e995)
 	m := f.bits.Len()
 	for i := 0; i < k; i++ {
 		dst = append(dst, hashes.Double(h1, h2, i)%m)
@@ -191,13 +192,21 @@ func (f *Filter) add(key []byte, k int) {
 // checked with an elevated count, which can only lower their individual
 // false-positive probability.
 func (f *Filter) Contains(key []byte) bool {
+	return f.ContainsHash(key, hashes.Base(key))
+}
+
+// ContainsHash is Contains for a precomputed base = hashes.Base(key).
+// The key bytes are still needed for the cost-cache lookup (the cache is
+// keyed by exact key), but every probe position derives from the base.
+func (f *Filter) ContainsHash(key []byte, base uint64) bool {
 	k := f.baseK
 	if ck, ok := f.kCache[string(key)]; ok {
 		k = int(ck)
 	}
-	var buf [40]uint64
-	for _, p := range f.positions(key, k, buf[:0]) {
-		if !f.bits.Test(p) {
+	h1, h2 := hashes.BaseLanes(base, 0x5bd1e995)
+	m := f.bits.Len()
+	for i := 0; i < k; i++ {
+		if !f.bits.Test(hashes.Double(h1, h2, i) % m) {
 			return false
 		}
 	}

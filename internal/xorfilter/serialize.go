@@ -18,7 +18,11 @@ import (
 //
 // The fingerprint width travels inside the Lanes encoding.
 
-const filterVersion = 1
+// Version 2: probe positions derive from the shared base hash
+// (hashes.Base) instead of per-family key hashing. Version-1 containers
+// hold bits under the old derivation and must not be served by this
+// code, so decoding rejects them.
+const filterVersion = 2
 
 // wireMagic is the on-wire magic: "XORF" as a little-endian u32.
 const wireMagic = uint32(0x46524f58)

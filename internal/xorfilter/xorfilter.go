@@ -82,7 +82,7 @@ func New(keys [][]byte, width uint) (*Filter, error) {
 		queue = queue[:0]
 
 		for _, key := range keys {
-			h := hashes.XXH64Seed(key, f.seed)
+			h := f.keyHash(hashes.Base(key))
 			for _, s := range f.slots(h) {
 				sets[s].xormask ^= h
 				sets[s].count++
@@ -136,6 +136,16 @@ func NewWithBudget(keys [][]byte, bitsPerKey float64) (*Filter, error) {
 // rotl64 rotates x left by r bits.
 func rotl64(x uint64, r uint) uint64 { return x<<r | x>>(64-r) }
 
+// keyHash derives the per-attempt key hash from the shared base hash
+// (hashes.Base) and the attempt seed. Re-mixing one strong 64-bit value
+// per attempt instead of re-hashing the key bytes is the idiom of the
+// reference xor-filter implementations, and it lets prepared batch
+// callers that already computed the base for shard routing skip the key
+// bytes entirely (ContainsHash).
+func (f *Filter) keyHash(base uint64) uint64 {
+	return hashes.Mix64(base ^ f.seed)
+}
+
 // slots returns the three table positions of a key hash, one per block.
 // Rotations (not shifts) keep all 32 bits of each window significant,
 // which the multiply-shift reduction depends on.
@@ -167,7 +177,12 @@ func (f *Filter) fingerprint(h uint64) uint64 {
 // Contains reports whether key may be in the set. False positives occur
 // with probability about 2^-width; false negatives never.
 func (f *Filter) Contains(key []byte) bool {
-	h := hashes.XXH64Seed(key, f.seed)
+	return f.ContainsHash(hashes.Base(key))
+}
+
+// ContainsHash is Contains for a precomputed base = hashes.Base(key).
+func (f *Filter) ContainsHash(base uint64) bool {
+	h := f.keyHash(base)
 	s := f.slots(h)
 	v := f.fingerprints.Get(s[0]) ^ f.fingerprints.Get(s[1]) ^ f.fingerprints.Get(s[2])
 	return v == f.fingerprint(h)

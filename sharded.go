@@ -149,6 +149,13 @@ func (s *Sharded) Contains(key []byte) bool { return s.set.Contains(key) }
 // loops that already hold a batch of requests.
 func (s *Sharded) ContainsBatch(keys [][]byte) []bool { return s.set.ContainsBatch(keys) }
 
+// ContainsBatchInto is ContainsBatch writing into a caller-owned result
+// slice: dst[i] answers keys[i], and len(dst) must be at least
+// len(keys). It allocates nothing in steady state, so serving loops that
+// reuse a result buffer across batches query with zero garbage. The
+// slice is fully overwritten in [0, len(keys)) and not retained.
+func (s *Sharded) ContainsBatchInto(dst []bool, keys [][]byte) { s.set.ContainsBatchInto(dst, keys) }
+
 // Add inserts a key, locking only the owning shard. The key is queryable
 // as soon as Add returns, and the zero-false-negative guarantee holds
 // across any background rebuilds it may trigger.
