@@ -15,7 +15,7 @@
 //
 //	habfserved -restore filter.snap [-addr :8080] [-snapshot filter.snap -snapshot-on-exit]
 //	habfserved -keys 100000 [-shards 8] [-seed 1]       # synthetic filter, for demos/load tests
-//	habfserved -keys 100000 -backend xor                # serve a baseline filter family (bloom|xor|wbf|phbf)
+//	habfserved -keys 100000 -backend xor                # serve another filter family (bloom|xor|wbf|phbf|lbf|slbf|adabf)
 //	habfserved -follow http://primary:8080              # replication follower: pull, serve, resync
 //
 // The filter comes from one of three sources: -restore loads a snapshot
@@ -33,11 +33,14 @@
 // keeps retrying until the primary returns. Replication state is
 // exported at /metrics (habfserved_replication_*) and in /v1/stats.
 //
-// -backend selects the filter family (habf, bloom, xor, ...) a synthetic
-// filter is built with; restores auto-detect the family from the
-// snapshot header, and an explicit -backend that contradicts the file
-// is a startup error rather than a misdecode. The active backend is
-// reported in /v1/stats and /metrics.
+// -backend selects the filter family (habf, bloom, xor, wbf, phbf, or
+// the learned families lbf, slbf, adabf) a synthetic filter is built
+// with; restores auto-detect the family from the snapshot header, and
+// an explicit -backend that contradicts the file is a startup error
+// rather than a misdecode. The active backend is reported in /v1/stats
+// and /metrics. Learned backends train their model at build time, so a
+// synthetic -keys startup takes seconds rather than milliseconds;
+// restores skip training entirely.
 //
 // -tune sets the backend's tuning knobs ("k=v,k=v", validated against
 // the family's schema — see the README's Tuning section). A synthetic

@@ -78,6 +78,9 @@ var tuningGrid = map[string][]string{
 	"xor":   {"width=9", "width=16"},
 	"wbf":   {"cache=0.2", "k=6,maxk=10", "maxk=20"},
 	"phbf":  {"groups=128", "candidates=16", "groups=32,candidates=4"},
+	"lbf":   {"epochs=3", "seed=7", "model=gru,epochs=1"},
+	"slbf":  {"split=0.25", "epochs=3,seed=5"},
+	"adabf": {"groups=8", "groups=2,seed=9"},
 }
 
 // TestBackendTuningGrid re-runs the zero-false-negative, batch-parity

@@ -3,6 +3,7 @@ package learned
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 
 	"repro/internal/bloom"
@@ -18,11 +19,33 @@ type LBF struct {
 	name   string
 }
 
+// trivialBloomBits sizes the bloom filter backing a trivially-correct
+// learned filter: a 0- or 1-key input has no score distribution to train
+// on or sweep τ over, so the constructors skip the model entirely.
+const trivialBloomBits = 64
+
+// trivialLBF is the degenerate 0/1-key filter: no model, membership is a
+// tiny Bloom filter over the single key (or constant false when empty).
+func trivialLBF(name string, positives [][]byte) (*LBF, error) {
+	l := &LBF{tau: 2, name: name}
+	if len(positives) > 0 {
+		backup, err := bloom.NewWithKeys(positives, trivialBloomBits, bloom.StrategySplit128)
+		if err != nil {
+			return nil, err
+		}
+		l.backup = backup
+	}
+	return l, nil
+}
+
 // NewLBF trains a logistic model on the labelled keys and builds an LBF
 // within totalBits (model parameters + backup filter). The threshold is
 // chosen by sweeping score quantiles of the negative sample and minimizing
 // the estimated overall FPR, as in the original paper.
 func NewLBF(positives, negatives [][]byte, totalBits uint64, cfg TrainConfig) (*LBF, error) {
+	if len(positives) <= 1 {
+		return trivialLBF("LBF", positives)
+	}
 	model := TrainLogistic(positives, negatives, cfg)
 	return assembleLBF(model, "LBF", positives, negatives, totalBits)
 }
@@ -32,16 +55,39 @@ func NewLBF(positives, negatives [][]byte, totalBits uint64, cfg TrainConfig) (*
 // large key sets (BPTT over millions of keys is impractical in pure Go);
 // the threshold sweep and backup assembly are identical to NewLBF.
 func NewLBFWithGRU(positives, negatives [][]byte, totalBits uint64) (*LBF, error) {
+	if len(positives) <= 1 {
+		return trivialLBF("LBF(GRU)", positives)
+	}
 	const trainCap = 8000 // per side
-	pt, nt := positives, negatives
-	if len(pt) > trainCap {
-		pt = pt[:trainCap]
-	}
-	if len(nt) > trainCap {
-		nt = nt[:trainCap]
-	}
+	pt := subsample(positives, trainCap, 1)
+	nt := subsample(negatives, trainCap, 2)
 	model := TrainGRU(pt, nt, GRUConfig{})
 	return assembleLBF(model, "LBF(GRU)", positives, negatives, totalBits)
+}
+
+// subsample draws up to max keys evenly across the whole slice: one key
+// per stride-sized window, position seeded. Slicing a prefix instead
+// trains the model on whatever region sorts first — on a sorted or
+// clustered key set the holdout is then effectively out-of-distribution.
+func subsample(keys [][]byte, max int, seed int64) [][]byte {
+	if len(keys) <= max {
+		return keys
+	}
+	rng := rand.New(rand.NewSource(seed))
+	stride := float64(len(keys)) / float64(max)
+	out := make([][]byte, 0, max)
+	for i := 0; i < max; i++ {
+		lo := int(float64(i) * stride)
+		hi := int(float64(i+1) * stride)
+		if hi > len(keys) {
+			hi = len(keys)
+		}
+		if hi <= lo {
+			hi = lo + 1
+		}
+		out = append(out, keys[lo+rng.Intn(hi-lo)])
+	}
+	return out
 }
 
 func assembleLBF(model Model, name string, positives, negatives [][]byte, totalBits uint64) (*LBF, error) {
@@ -50,23 +96,36 @@ func assembleLBF(model Model, name string, positives, negatives [][]byte, totalB
 	}
 	backupBits := totalBits - model.SizeBits()
 
-	tau, fns := chooseTau(model, positives, negatives, backupBits)
+	tau, fns, posScores := chooseTau(model, positives, negatives, backupBits)
 	l := &LBF{model: model, tau: tau, name: name}
 	if len(fns) > 0 {
 		bpk := float64(backupBits) / float64(len(fns))
+		if bpk < 1 {
+			bpk = 1
+		}
 		backup, err := bloom.NewWithKeys(fns, bpk, bloom.StrategySplit128)
 		if err != nil {
 			return nil, err
 		}
 		l.backup = backup
 	}
+	// The τ sweep and the backup construction above must jointly cover
+	// every positive — a key scoring below τ with no backup hit would be
+	// a false negative, which the filter contract forbids. Verify through
+	// the real query path rather than trusting the sweep's bookkeeping:
+	// this also catches a model whose scores are not stable across calls.
+	for i, k := range positives {
+		if !l.Contains(k) {
+			return nil, fmt.Errorf("learned: %s assembly produced a false negative (key %q, build-time score %.4f, τ %.4f)", name, k, posScores[i], tau)
+		}
+	}
 	return l, nil
 }
 
 // chooseTau sweeps candidate thresholds and returns the minimizer of the
 // estimated end-to-end FPR together with the model's false negatives (the
-// positives the backup filter must hold).
-func chooseTau(model Model, positives, negatives [][]byte, backupBits uint64) (float64, [][]byte) {
+// positives the backup filter must hold) and every positive's score.
+func chooseTau(model Model, positives, negatives [][]byte, backupBits uint64) (float64, [][]byte, []float64) {
 	posScores := make([]float64, len(positives))
 	for i, k := range positives {
 		posScores[i] = model.Score(k)
@@ -124,13 +183,13 @@ func chooseTau(model Model, positives, negatives [][]byte, backupBits uint64) (f
 			fns = append(fns, k)
 		}
 	}
-	return bestTau, fns
+	return bestTau, fns, posScores
 }
 
 // Contains reports whether key may be a member. Positives below τ are in
 // the backup filter, so no false negatives.
 func (l *LBF) Contains(key []byte) bool {
-	if l.model.Score(key) >= l.tau {
+	if l.model != nil && l.model.Score(key) >= l.tau {
 		return true
 	}
 	if l.backup == nil {
@@ -144,7 +203,10 @@ func (l *LBF) Name() string { return l.name }
 
 // SizeBits returns model plus backup footprint.
 func (l *LBF) SizeBits() uint64 {
-	s := l.model.SizeBits()
+	var s uint64
+	if l.model != nil {
+		s += l.model.SizeBits()
+	}
 	if l.backup != nil {
 		s += l.backup.SizeBits()
 	}
@@ -163,18 +225,38 @@ type SLBF struct {
 
 // NewSLBF trains a model and assembles the sandwich within totalBits.
 func NewSLBF(positives, negatives [][]byte, totalBits uint64, cfg TrainConfig) (*SLBF, error) {
+	if len(positives) <= 1 {
+		lbf, err := trivialLBF("SLBF", positives)
+		if err != nil {
+			return nil, err
+		}
+		return &SLBF{lbf: lbf}, nil
+	}
 	model := TrainLogistic(positives, negatives, cfg)
+	return assembleSLBF(model, positives, negatives, totalBits, 0.5)
+}
+
+// assembleSLBF builds the sandwich: split is the fraction of the
+// non-model budget spent on the initial filter.
+func assembleSLBF(model Model, positives, negatives [][]byte, totalBits uint64, split float64) (*SLBF, error) {
 	if model.SizeBits() >= totalBits {
 		return nil, fmt.Errorf("learned: model (%d bits) exceeds budget (%d bits)", model.SizeBits(), totalBits)
 	}
 	rest := totalBits - model.SizeBits()
-	initialBits := rest / 2
+	initialBits := uint64(float64(rest) * split)
 	bpk := float64(initialBits) / float64(len(positives))
+	if bpk < 1 {
+		bpk = 1
+	}
 	initial, err := bloom.NewWithKeys(positives, bpk, bloom.StrategySplit128)
 	if err != nil {
 		return nil, err
 	}
-	lbf, err := assembleLBF(model, "SLBF", positives, negatives, totalBits-initial.SizeBits())
+	lbfBudget := totalBits - initial.SizeBits()
+	if lbfBudget <= model.SizeBits() {
+		lbfBudget = model.SizeBits() + 128
+	}
+	lbf, err := assembleLBF(model, "SLBF", positives, negatives, lbfBudget)
 	if err != nil {
 		return nil, err
 	}
@@ -183,7 +265,7 @@ func NewSLBF(positives, negatives [][]byte, totalBits uint64, cfg TrainConfig) (
 
 // Contains reports whether key may be a member.
 func (s *SLBF) Contains(key []byte) bool {
-	if !s.initial.Contains(key) {
+	if s.initial != nil && !s.initial.Contains(key) {
 		return false
 	}
 	return s.lbf.Contains(key)
@@ -193,7 +275,13 @@ func (s *SLBF) Contains(key []byte) bool {
 func (s *SLBF) Name() string { return "SLBF" }
 
 // SizeBits returns the full sandwich footprint.
-func (s *SLBF) SizeBits() uint64 { return s.initial.SizeBits() + s.lbf.SizeBits() }
+func (s *SLBF) SizeBits() uint64 {
+	var sz uint64
+	if s.initial != nil {
+		sz += s.initial.SizeBits()
+	}
+	return sz + s.lbf.SizeBits()
+}
 
 // AdaBF is Dai & Shrivastava's Adaptive Learned Bloom filter: one shared
 // bit array, with the per-key hash count decreasing as the model score
@@ -205,17 +293,45 @@ type AdaBF struct {
 	ks         []int         // hash count per group, len = len(boundaries)+1
 }
 
-// adaGroups is the number of score groups g (the Ada-BF paper uses a
-// handful; 4 keeps tuning stable at our scales).
+// adaGroups is the default number of score groups g (the Ada-BF paper
+// uses a handful; 4 keeps tuning stable at our scales).
 const adaGroups = 4
+
+// trivialAdaBF is the degenerate 0/1-key filter: no model, one group.
+func trivialAdaBF(positives [][]byte) (*AdaBF, error) {
+	a := &AdaBF{ks: []int{1}}
+	if len(positives) > 0 {
+		bits, err := bloom.NewWithKeys(positives, trivialBloomBits, bloom.StrategySplit128)
+		if err != nil {
+			return nil, err
+		}
+		// ContainsK caps at the filter's own k, so a ks of 30 (the
+		// OptimalK ceiling) always re-checks with the k AddK used.
+		a.bits, a.ks = bits, []int{30}
+	}
+	return a, nil
+}
 
 // NewAdaBF trains a model and builds the group-adaptive filter.
 func NewAdaBF(positives, negatives [][]byte, totalBits uint64, cfg TrainConfig) (*AdaBF, error) {
+	if len(positives) <= 1 {
+		return trivialAdaBF(positives)
+	}
 	model := TrainLogistic(positives, negatives, cfg)
+	return assembleAdaBF(model, positives, totalBits, adaGroups)
+}
+
+func assembleAdaBF(model Model, positives [][]byte, totalBits uint64, groups int) (*AdaBF, error) {
 	if model.SizeBits() >= totalBits {
 		return nil, fmt.Errorf("learned: model (%d bits) exceeds budget (%d bits)", model.SizeBits(), totalBits)
 	}
 	arrayBits := totalBits - model.SizeBits()
+	if groups < 1 {
+		groups = adaGroups
+	}
+	if groups > len(positives) {
+		groups = len(positives)
+	}
 
 	scores := make([]float64, len(positives))
 	for i, k := range positives {
@@ -223,15 +339,15 @@ func NewAdaBF(positives, negatives [][]byte, totalBits uint64, cfg TrainConfig) 
 	}
 	sorted := append([]float64(nil), scores...)
 	sort.Float64s(sorted)
-	boundaries := make([]float64, adaGroups-1)
-	for g := 1; g < adaGroups; g++ {
-		boundaries[g-1] = sorted[g*len(sorted)/adaGroups]
+	boundaries := make([]float64, groups-1)
+	for g := 1; g < groups; g++ {
+		boundaries[g-1] = sorted[g*len(sorted)/groups]
 	}
 
 	bpk := float64(arrayBits) / float64(len(positives))
 	baseK := bloom.OptimalK(bpk)
-	ks := make([]int, adaGroups)
-	for g := 0; g < adaGroups; g++ {
+	ks := make([]int, groups)
+	for g := 0; g < groups; g++ {
 		// Lowest-score group gets baseK+1, highest gets max(1, baseK-2).
 		k := baseK + 1 - g
 		if k < 1 {
@@ -257,7 +373,7 @@ func (a *AdaBF) group(score float64) int {
 			return g
 		}
 	}
-	return adaGroups - 1
+	return len(a.ks) - 1
 }
 
 func (a *AdaBF) insert(key []byte, g int) {
@@ -269,7 +385,13 @@ func (a *AdaBF) insert(key []byte, g int) {
 // inserted keys are always re-checked with the same k — zero false
 // negatives.
 func (a *AdaBF) Contains(key []byte) bool {
-	g := a.group(a.model.Score(key))
+	if a.bits == nil {
+		return false
+	}
+	g := 0
+	if a.model != nil {
+		g = a.group(a.model.Score(key))
+	}
 	return a.bits.ContainsK(key, a.ks[g])
 }
 
@@ -277,4 +399,108 @@ func (a *AdaBF) Contains(key []byte) bool {
 func (a *AdaBF) Name() string { return "Ada-BF" }
 
 // SizeBits returns model plus bit-array footprint.
-func (a *AdaBF) SizeBits() uint64 { return a.model.SizeBits() + a.bits.SizeBits() }
+func (a *AdaBF) SizeBits() uint64 {
+	var s uint64
+	if a.model != nil {
+		s += a.model.SizeBits()
+	}
+	if a.bits != nil {
+		s += a.bits.SizeBits()
+	}
+	return s
+}
+
+// ServeOptions configures the serve-path constructors behind the
+// filtercore adapters. Every field is a snapshot-durable tuning knob:
+// rebuilding a restored set with the same knobs and keys reproduces the
+// same filter bit-for-bit (training is seed-deterministic).
+type ServeOptions struct {
+	Model  string  // "logistic" (default) or "gru"
+	Epochs int     // 0 = family default
+	Seed   int64   // 0 = 1
+	Split  float64 // SLBF: initial-filter fraction of the non-model budget; 0 = 0.5
+	Groups int     // AdaBF: number of score groups; 0 = 4
+}
+
+// gruServeTrainCap bounds GRU training cost per shard build on the serve
+// path (BPTT is the dominant cost; the model quality saturates well
+// below this at our scales).
+const gruServeTrainCap = 4000
+
+func (o ServeOptions) train(positives, negatives [][]byte) Model {
+	if o.Model == "gru" {
+		seed := o.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		pt := subsample(positives, gruServeTrainCap, seed)
+		nt := subsample(negatives, gruServeTrainCap, seed+1)
+		return TrainGRU(pt, nt, GRUConfig{Epochs: o.Epochs, Seed: seed})
+	}
+	return TrainLogistic(positives, negatives, TrainConfig{Epochs: o.Epochs, Seed: o.Seed})
+}
+
+// serveBudget widens totalBits so the trained model always fits: sharded
+// builds hand per-shard budgets of bits-per-key × keys, which for small
+// shards is less than the model parameters alone. Learned backends treat
+// the budget as a target rather than a hard cap and report their real
+// footprint via SizeBits — erroring out here would make every small
+// shard unbuildable.
+func serveBudget(totalBits, modelBits uint64, n int) uint64 {
+	var rest uint64
+	if totalBits > modelBits {
+		rest = totalBits - modelBits
+	}
+	floor := uint64(8 * n)
+	if floor < 128 {
+		floor = 128
+	}
+	if rest < floor {
+		rest = floor
+	}
+	return modelBits + rest
+}
+
+// BuildLBF is the serve-path LBF constructor: never fails on small
+// budgets or degenerate key counts.
+func BuildLBF(positives, negatives [][]byte, totalBits uint64, o ServeOptions) (*LBF, error) {
+	if len(positives) <= 1 {
+		return trivialLBF("LBF", positives)
+	}
+	name := "LBF"
+	if o.Model == "gru" {
+		name = "LBF(GRU)"
+	}
+	model := o.train(positives, negatives)
+	return assembleLBF(model, name, positives, negatives, serveBudget(totalBits, model.SizeBits(), len(positives)))
+}
+
+// BuildSLBF is the serve-path SLBF constructor.
+func BuildSLBF(positives, negatives [][]byte, totalBits uint64, o ServeOptions) (*SLBF, error) {
+	if len(positives) <= 1 {
+		lbf, err := trivialLBF("SLBF", positives)
+		if err != nil {
+			return nil, err
+		}
+		return &SLBF{lbf: lbf}, nil
+	}
+	split := o.Split
+	if split <= 0 || split >= 1 {
+		split = 0.5
+	}
+	model := o.train(positives, negatives)
+	return assembleSLBF(model, positives, negatives, serveBudget(totalBits, model.SizeBits(), len(positives)), split)
+}
+
+// BuildAdaBF is the serve-path Ada-BF constructor.
+func BuildAdaBF(positives, negatives [][]byte, totalBits uint64, o ServeOptions) (*AdaBF, error) {
+	if len(positives) <= 1 {
+		return trivialAdaBF(positives)
+	}
+	groups := o.Groups
+	if groups < 1 {
+		groups = adaGroups
+	}
+	model := o.train(positives, negatives)
+	return assembleAdaBF(model, positives, serveBudget(totalBits, model.SizeBits(), len(positives)), groups)
+}

@@ -104,7 +104,7 @@ func NewIncremental(mode IncrementalMode, positives, negatives [][]byte, cfg Inc
 // rebuilds the backup filter with exactly the current false negatives.
 func (l *IncrementalLBF) retrain() {
 	l.model = TrainLogistic(l.positives, l.negatives, l.cfg.Train)
-	tau, fns := chooseTau(l.model, l.positives, l.negatives, l.cfg.BackupBits)
+	tau, fns, _ := chooseTau(l.model, l.positives, l.negatives, l.cfg.BackupBits)
 	l.tau = tau
 	l.backupKeys = fns
 	l.rebuildBackup()

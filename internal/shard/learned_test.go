@@ -1,0 +1,57 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/habf"
+)
+
+// TestLearnedBackendsSurviveEmptyShards pins the empty-shard bugfix at
+// the layer that triggered it: a sharded build with more shards than
+// keys hands 0- and 1-key populations to the backend constructors,
+// which used to panic (NewAdaBF) or divide by zero (NewSLBF). The
+// degenerate set must build, serve, accept Adds into its empty shards
+// (a lazy 1-key build), and survive a snapshot → restore cycle.
+func TestLearnedBackendsSurviveEmptyShards(t *testing.T) {
+	for _, backend := range []string{"lbf", "slbf", "adabf"} {
+		backend := backend
+		t.Run(backend, func(t *testing.T) {
+			requireBackend(t, backend)
+			pos := [][]byte{[]byte("member-a"), []byte("member-b"), []byte("member-c")}
+			neg := []habf.WeightedKey{{Key: []byte("absent-a"), Cost: 1}}
+			s, err := New(pos, neg, Config{Shards: 16, TotalBits: 4096, Backend: backend})
+			if err != nil {
+				t.Fatalf("sharded build with empty shards failed: %v", err)
+			}
+			for _, key := range pos {
+				if !s.Contains(key) {
+					t.Fatalf("false negative for %q", key)
+				}
+			}
+
+			// Spraying Adds across the key space lands some in shards that
+			// were empty at build time, exercising the lazy single-key
+			// build — the trivial-filter path.
+			var fresh [][]byte
+			for i := 0; i < 64; i++ {
+				k := []byte(fmt.Sprintf("late-%06d", i))
+				fresh = append(fresh, k)
+				s.Add(k)
+			}
+			s.WaitRebuilds()
+			for _, key := range append(append([][]byte{}, pos...), fresh...) {
+				if !s.Contains(key) {
+					t.Fatalf("false negative for %q after adds", key)
+				}
+			}
+
+			g := snapshotRoundtrip(t, s)
+			for _, key := range append(append([][]byte{}, pos...), fresh...) {
+				if !g.Contains(key) {
+					t.Fatalf("restored set lost %q", key)
+				}
+			}
+		})
+	}
+}

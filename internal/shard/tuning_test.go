@@ -15,6 +15,9 @@ var shardTunings = map[string]string{
 	"xor":   "width=9",
 	"wbf":   "cache=0.2,maxk=12",
 	"phbf":  "groups=128,candidates=16",
+	"lbf":   "epochs=3,seed=7",
+	"slbf":  "split=0.25",
+	"adabf": "groups=8",
 }
 
 // TestBackendTuningRoundTripsThroughSnapshot pins the durability

@@ -82,8 +82,8 @@ func fuzzSnapshotSeeds(tb testing.TB) map[string][]byte {
 	seeds["cross-backend-frame"] = crossBackend
 	// Valid containers of the non-default backends, so the fuzzer mutates
 	// every registered frame decoder (bloom, xor, wbf cache entries, phbf
-	// seed tables).
-	for _, backend := range []string{"bloom", "xor", "wbf", "phbf"} {
+	// seed tables, and the learned families' model + nested bloom blocks).
+	for _, backend := range []string{"bloom", "xor", "wbf", "phbf", "lbf", "slbf", "adabf"} {
 		set, err := shard.New(pos, neg, shard.Config{Shards: 4, TotalBits: 300 * 12, Backend: backend})
 		if err != nil {
 			tb.Fatal(err)
@@ -98,6 +98,44 @@ func fuzzSnapshotSeeds(tb testing.TB) map[string][]byte {
 		}
 		seeds["valid-"+backend+"-container"] = data
 	}
+	// Learned-container attacks: container-valid (CRCs recomputed by
+	// MarshalBinary) but with a hostile shard payload, so the fuzzer
+	// starts inside the learned wire decoders rather than dying at the
+	// container checksum.
+	mutateFrame := func(container []byte, mutate func(payload []byte) []byte) []byte {
+		s, err := snapshot.Unmarshal(container)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		s.Frames[0].Payload = mutate(append([]byte(nil), s.Frames[0].Payload...))
+		data, err := s.MarshalBinary()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		return data
+	}
+	// Model block cut mid-weights.
+	seeds["learned-truncated-model"] = mutateFrame(seeds["valid-lbf-container"], func(p []byte) []byte {
+		return p[:len(p)-2]
+	})
+	// Logistic weight count forced to 0xFFFFFFFF — must fail the bounds
+	// check, not drive a 16 GiB allocation. The model block follows the
+	// 28-byte LBF header and the backup block (length at payload 20:28).
+	seeds["learned-hostile-weight-count"] = mutateFrame(seeds["valid-lbf-container"], func(p []byte) []byte {
+		modelOff := 28 + binary.LittleEndian.Uint64(p[20:28])
+		if p[modelOff] != 1 {
+			tb.Fatalf("LBF frame model kind = %d, want logistic", p[modelOff])
+		}
+		binary.LittleEndian.PutUint32(p[modelOff+1:], 0xFFFFFFFF)
+		return p
+	})
+	// Inner bloom block with a smashed magic (Ada-BF's shared bit array
+	// starts right after its 20-byte header): the nested BLMF decoder
+	// must reject it, never misparse.
+	seeds["learned-wrong-inner-bloom"] = mutateFrame(seeds["valid-adabf-container"], func(p []byte) []byte {
+		p[20] ^= 0xFF
+		return p
+	})
 	// Pending-keys section: restore a static-backend container, add keys
 	// (they pend — no key list to rebuild from), snapshot again. The
 	// result carries the flagged extra frame, giving the fuzzer the
